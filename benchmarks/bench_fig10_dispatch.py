@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 10 (rule-based dispatch, both mechanisms)."""
+
+from conftest import full_scale
+
+from repro.experiments import format_fig10, run_fig10_dispatch_demo
+
+
+def test_fig10_dispatch(benchmark, persist_result):
+    n_messages = 10_000 if full_scale() else 10_000  # paper scale is cheap here
+    result = benchmark.pedantic(
+        run_fig10_dispatch_demo,
+        kwargs={"interval_messages": n_messages, "interval_seconds": 60.0},
+        rounds=1,
+        iterations=1,
+    )
+    assert [n for _, n in result.point_dispatches] == [200, 400, 600]
+    assert result.received_total(result.interval_cumulative_received) == n_messages
+    # Right-tailed N(0,1): the bulk of traffic lands early in the window.
+    early = sum(n for t, n in result.interval_dispatches if t < 20.0)
+    assert early > 0.7 * n_messages
+    persist_result("fig10_dispatch", format_fig10(result))

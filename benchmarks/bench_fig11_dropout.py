@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 11 (dropout vs data distribution)."""
+
+from conftest import full_scale
+
+from repro.experiments import format_fig11, run_fig11_dropout_impact
+
+
+def test_fig11_dropout(benchmark, persist_result):
+    kwargs = (
+        {"dropouts": (0.0, 0.3, 0.7, 0.9), "n_devices": 1000, "rounds": 10}
+        if full_scale()
+        else {"dropouts": (0.0, 0.3, 0.7, 0.9), "n_devices": 120, "rounds": 10,
+              "feature_dim": 512}
+    )
+    result = benchmark.pedantic(
+        run_fig11_dropout_impact, kwargs=kwargs, rounds=1, iterations=1
+    )
+    # (a) IID: dropout leaves final accuracy roughly unchanged.
+    assert abs(
+        result.final_accuracy("iid", 0.0) - result.final_accuracy("iid", 0.9)
+    ) < 0.08
+    # (b) skewed: high dropout destabilises convergence.
+    assert result.volatility("skewed", 0.9) > result.volatility("skewed", 0.0)
+    persist_result("fig11_dropout", format_fig11(result))

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 5 (benchmarking-device CPU/memory trace)."""
+
+from repro.experiments import format_fig5, run_fig5_device_trace
+
+
+def test_fig5_device_trace(benchmark, persist_result):
+    trace = benchmark.pedantic(
+        run_fig5_device_trace, kwargs={"rounds": 3}, rounds=1, iterations=1
+    )
+    assert len(trace.round_windows) == 3
+    active_cpu = [c for c in trace.cpu_percent if c > 0]
+    assert max(active_cpu) <= 15.0  # the figure's 0-14% band
+    active_mem = [m for m in trace.memory_mb if m > 1.0]
+    assert max(active_mem) < 60.0  # the figure's 10-50 MB band
+    persist_result("fig5_device_trace", format_fig5(trace))

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 6 (hybrid allocation ratios vs accuracy)."""
+
+from conftest import full_scale
+
+from repro.experiments import format_fig6, run_fig6_hybrid_accuracy
+
+
+def test_fig6_hybrid_accuracy(benchmark, persist_result):
+    scales = ((4, 4), (20, 20), (100, 100), (500, 500)) if full_scale() else (
+        (4, 4), (20, 20), (100, 100),
+    )
+    result = benchmark.pedantic(
+        run_fig6_hybrid_accuracy,
+        kwargs={"scales": scales, "rounds": 10 if full_scale() else 5, "feature_dim": 512},
+        rounds=1,
+        iterations=1,
+    )
+    # The paper's headline claim: every deviation within +/-0.5 pct pts.
+    assert result.max_abs_diff() < 0.5
+    persist_result("fig6_hybrid_accuracy", format_fig6(result))

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 7 (execution time vs scale for Types 1-5 + optimizer)."""
+
+from repro.experiments import format_fig7, run_fig7_allocation_time
+from repro.experiments.fig6 import TYPE_RATIOS
+
+
+def test_fig7_allocation_time(benchmark, persist_result):
+    result = benchmark.pedantic(run_fig7_allocation_time, rounds=3, iterations=1)
+    for scale in result.scales:
+        optimum = result.times[("Optimization", scale)]
+        for type_name, _ in TYPE_RATIOS:
+            assert optimum <= result.times[(type_name, scale)] + 1e-9
+    # Paper shape: logical wins small scales, physical wins large ones.
+    assert result.times[("Type 1", (4, 4))] < result.times[("Type 5", (4, 4))]
+    assert result.times[("Type 5", (500, 500))] < result.times[("Type 1", (500, 500))]
+    persist_result("fig7_allocation_time", format_fig7(result))

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 9 (traffic curves vs aggregation outcomes)."""
+
+from conftest import full_scale
+
+from repro.experiments import format_fig9, run_fig9_traffic_impact
+
+
+def test_fig9_traffic_impact(benchmark, persist_result):
+    kwargs = (
+        {"n_devices": 300, "window_s": 1200.0, "rounds": 10, "feature_dim": 512}
+        if full_scale()
+        else {"n_devices": 120, "window_s": 1200.0, "rounds": 10, "feature_dim": 512}
+    )
+    result = benchmark.pedantic(
+        run_fig9_traffic_impact, kwargs=kwargs, rounds=1, iterations=1
+    )
+    # (a): tighter curves land more arrivals and never fewer aggregations.
+    assert result.arrivals_in_window[1.0] >= result.arrivals_in_window[3.0]
+    assert result.threshold_rounds[1.0] >= result.threshold_rounds[3.0]
+    # (b): sigma=1 sees the most participants per scheduled round.
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(result.participation[1.0]) > mean(result.participation[3.0])
+    persist_result("fig9_traffic_impact", format_fig9(result))

@@ -1,0 +1,56 @@
+"""Microbench: discrete-event kernel throughput.
+
+Everything in SimDC reduces to kernel events; these numbers bound how big
+a simulation one wall-clock second buys (the 100k-device sweeps of Fig. 8
+schedule roughly one million events).
+"""
+
+from conftest import full_scale
+
+from repro.simkernel import Semaphore, Simulator, Timeout
+
+
+def schedule_and_drain(n_events: int) -> None:
+    sim = Simulator()
+    for i in range(n_events):
+        sim.schedule(float(i % 97), lambda: None)
+    sim.run()
+
+
+def process_chains(n_processes: int, hops: int) -> None:
+    sim = Simulator()
+
+    def worker():
+        for _ in range(hops):
+            yield Timeout(1.0)
+
+    for _ in range(n_processes):
+        sim.process(worker())
+    sim.run()
+
+
+def contended_semaphore(n_workers: int) -> None:
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=8)
+
+    def worker():
+        yield sem.acquire()
+        yield Timeout(1.0)
+        sem.release()
+
+    for _ in range(n_workers):
+        sim.process(worker())
+    sim.run()
+
+
+def test_event_throughput(benchmark):
+    n = 200_000 if full_scale() else 50_000
+    benchmark.pedantic(schedule_and_drain, args=(n,), rounds=3, iterations=1)
+
+
+def test_process_switching(benchmark):
+    benchmark.pedantic(process_chains, args=(2_000, 20), rounds=3, iterations=1)
+
+
+def test_semaphore_contention(benchmark):
+    benchmark.pedantic(contended_semaphore, args=(5_000,), rounds=3, iterations=1)

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table I (per-stage power, duration, communication)."""
+
+from conftest import full_scale
+
+from repro.experiments import format_table1, run_table1_stage_metrics
+from repro.experiments.table1 import PAPER_TABLE1
+
+
+def test_table1_stage_metrics(benchmark, persist_result):
+    scale = 500 if full_scale() else 60
+    result = benchmark.pedantic(
+        run_table1_stage_metrics,
+        kwargs={"n_devices_per_grade": scale, "n_benchmark_per_grade": 5},
+        rounds=1,
+        iterations=1,
+    )
+    # Sanity of the regenerated rows against the paper's values.
+    for grade, stage, _, mah, minutes, _ in result.rows:
+        paper_mah, paper_min = PAPER_TABLE1[(grade, stage)]
+        assert abs(minutes - paper_min) < 0.03
+        assert abs(mah - paper_mah) / paper_mah < 0.4
+    persist_result("table1_stage_metrics", format_table1(result))

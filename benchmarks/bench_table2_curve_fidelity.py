@@ -1,0 +1,15 @@
+"""Bench: regenerate Table II (dispatch fidelity for six curve families)."""
+
+from repro.experiments import format_table2, run_table2_curve_fidelity
+
+
+def test_table2_curve_fidelity(benchmark, persist_result):
+    result = benchmark.pedantic(
+        run_table2_curve_fidelity,
+        kwargs={"n_messages": 10_000, "interval_seconds": 60.0},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.rows) == 6
+    assert result.min_correlation() > 0.99  # the paper's claim for every row
+    persist_result("table2_curve_fidelity", format_table2(result))

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, times
+the regeneration with pytest-benchmark, and persists the rendered rows to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite them.
+
+Scale knobs: benches default to *medium* scale so the whole harness
+finishes in minutes.  Set ``SIMDC_BENCH_FULL=1`` to run the paper-scale
+parameters (500+500 devices, 1000-device dropout runs, ...).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """Whether paper-scale parameters were requested."""
+    return os.environ.get("SIMDC_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture()
+def persist_result():
+    """Write a rendered table to benchmarks/results/ and echo it."""
+
+    def _persist(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _persist

@@ -1,0 +1,62 @@
+"""Should you ship that aggregation rule?  A dropout robustness study.
+
+A practitioner question the paper's Fig. 11 motivates: before deploying a
+device-cloud training job to a flaky population, quantify how sensitive
+the outcome is to transmission failures — and whether your data
+distribution makes dropout dangerous.
+
+The study sweeps dropout probability x data skew, runs each cell through
+DeviceFlow + timed aggregation, and prints a decision table of final
+accuracy and convergence volatility.
+
+Run:  python examples/dropout_robustness_study.py
+"""
+
+from repro.experiments.fig11 import run_fig11_dropout_impact
+from repro.experiments.render import format_table
+
+
+def main() -> None:
+    result = run_fig11_dropout_impact(
+        dropouts=(0.0, 0.3, 0.7, 0.9),
+        n_devices=120,
+        rounds=10,
+        feature_dim=512,
+        seed=1,
+    )
+
+    rows = []
+    for distribution in ("iid", "skewed"):
+        for dropout in (0.0, 0.3, 0.7, 0.9):
+            series = result.accuracy[(distribution, dropout)]
+            rows.append(
+                (
+                    distribution,
+                    dropout,
+                    round(series[-1], 4),
+                    round(min(series), 4),
+                    round(result.volatility(distribution, dropout), 4),
+                )
+            )
+    print(
+        format_table(
+            "Dropout robustness: final/min accuracy and volatility by setting",
+            ["distribution", "dropout p", "final acc", "worst acc", "volatility"],
+            rows,
+        )
+    )
+
+    iid_gap = abs(
+        result.final_accuracy("iid", 0.9) - result.final_accuracy("iid", 0.0)
+    )
+    skew_vol = result.volatility("skewed", 0.9)
+    print()
+    print(f"IID population: dropout 0.9 moves final accuracy by only {iid_gap:.3f} "
+          "-> timed aggregation is safe to ship.")
+    print(f"Skewed population: dropout 0.9 volatility {skew_vol:.3f} "
+          f"({skew_vol / max(result.volatility('skewed', 0.0), 1e-9):.1f}x the clean run) "
+          "-> add DeviceFlow dropout simulation to staging before shipping.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools 65 without the ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) are unavailable offline.
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+take the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

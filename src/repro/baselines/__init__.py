@@ -1,0 +1,35 @@
+"""Comparator simulators for the scalability study (Fig. 8).
+
+§VI-B4 compares SimDC's single-round wall time against FedScale and
+FederatedScope across 100-100,000 simulated devices.  Neither framework
+is available offline, so this package re-implements their *execution
+semantics* as calibrated cost models:
+
+* **FedScale-like** — "does not use device-cloud communication during
+  simulations.  Its data and models are stored directly in memory, and
+  data is transferred only between memories when simulating different
+  clients": a pure in-process round with a tiny per-client constant.
+* **FederatedScope-like** — "employs a similar strategy for data and
+  models and can only use a single resource instance to simulate
+  clients", while still "independently simulat[ing] clients and us[ing]
+  device-cloud communication for aggregation": per-client compute plus a
+  communication term, bounded by one machine's cores.
+* **SimDC's own round model** is provided for the same sweep: actors
+  distributed across servers, each paying per-round data/model downloads
+  and shared-storage uploads — slower below ~1000 devices, comparable to
+  FederatedScope at scale.
+"""
+
+from repro.baselines.models import (
+    FedScaleLikeSimulator,
+    FederatedScopeLikeSimulator,
+    RoundCostBreakdown,
+    SimDCRoundModel,
+)
+
+__all__ = [
+    "FedScaleLikeSimulator",
+    "FederatedScopeLikeSimulator",
+    "RoundCostBreakdown",
+    "SimDCRoundModel",
+]

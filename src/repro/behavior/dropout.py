@@ -1,0 +1,63 @@
+"""Per-round device dropout models (§VI-C2's final experiment)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class DropoutModel:
+    """Decides which devices fail to deliver their update each round.
+
+    Supports the paper's independent-Bernoulli dropout (probability 0.3 /
+    0.7 / 0.9 in Fig. 11) plus optional per-device *stickiness*: a device
+    that dropped last round is more likely to drop again, modelling
+    persistent connectivity problems rather than i.i.d. flakiness.
+
+    Parameters
+    ----------
+    probability:
+        Base per-round dropout probability.
+    stickiness:
+        In ``[0, 1)``; 0 reproduces independent dropout.  With stickiness
+        ``s``, a device's effective probability is
+        ``p + s * (1 - p)`` if it dropped last round and ``p * (1 - s)``
+        otherwise.
+    seed:
+        Draw reproducibility.
+    """
+
+    def __init__(self, probability: float, stickiness: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if not 0.0 <= stickiness < 1.0:
+            raise ValueError("stickiness must be in [0, 1)")
+        self.probability = float(probability)
+        self.stickiness = float(stickiness)
+        self._rng = np.random.default_rng(np.random.SeedSequence((seed, 0xD80)))
+        self._last_dropped: dict[str, bool] = {}
+
+    def draw_round(self, device_ids: Sequence[str]) -> dict[str, bool]:
+        """``device_id -> dropped`` for one round."""
+        result: dict[str, bool] = {}
+        for device_id in device_ids:
+            p = self.probability
+            if self.stickiness > 0.0:
+                if self._last_dropped.get(device_id, False):
+                    p = p + self.stickiness * (1.0 - p)
+                else:
+                    p = p * (1.0 - self.stickiness)
+            dropped = bool(self._rng.random() < p)
+            result[device_id] = dropped
+            self._last_dropped[device_id] = dropped
+        return result
+
+    def survivors(self, device_ids: Sequence[str]) -> list[str]:
+        """Device ids that deliver this round, preserving order."""
+        draw = self.draw_round(device_ids)
+        return [d for d in device_ids if not draw[d]]
+
+    def reset(self) -> None:
+        """Forget dropout history (stickiness state)."""
+        self._last_dropped.clear()

@@ -1,0 +1,101 @@
+"""Network-condition profiles for simulated devices.
+
+Fig. 3 shows devices on wifi, GPRS, and flight mode; network condition
+determines upload bandwidth, latency and the chance a transmission fails —
+the physical grounding of DeviceFlow's dropout probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Connectivity class of a device.
+
+    Attributes
+    ----------
+    name:
+        Profile label.
+    bandwidth_bps:
+        Sustained uplink throughput (0 = disconnected).
+    latency_s:
+        Per-transfer latency floor.
+    failure_prob:
+        Chance an individual upload attempt fails.
+    """
+
+    name: str
+    bandwidth_bps: float
+    latency_s: float
+    failure_prob: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps < 0 or self.latency_s < 0:
+            raise ValueError(f"invalid network profile {self.name!r}")
+        if not 0.0 <= self.failure_prob <= 1.0:
+            raise ValueError("failure_prob must be in [0, 1]")
+
+    @property
+    def connected(self) -> bool:
+        """Whether any traffic can flow at all."""
+        return self.bandwidth_bps > 0
+
+    def upload_duration(self, n_bytes: int) -> float:
+        """Seconds to upload ``n_bytes`` (``inf`` when disconnected)."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        if not self.connected:
+            return float("inf")
+        return self.latency_s + n_bytes / self.bandwidth_bps
+
+
+WIFI = NetworkProfile("wifi", bandwidth_bps=40e6 / 8, latency_s=0.02, failure_prob=0.01)
+LTE = NetworkProfile("lte", bandwidth_bps=12e6 / 8, latency_s=0.05, failure_prob=0.05)
+GPRS = NetworkProfile("gprs", bandwidth_bps=56e3 / 8, latency_s=0.6, failure_prob=0.20)
+FLIGHT_MODE = NetworkProfile("flight-mode", bandwidth_bps=0.0, latency_s=0.0, failure_prob=1.0)
+
+#: Default population mix: mostly wifi, some cellular, a sliver offline.
+DEFAULT_NETWORK_MIX: tuple[tuple[NetworkProfile, float], ...] = (
+    (WIFI, 0.62),
+    (LTE, 0.28),
+    (GPRS, 0.07),
+    (FLIGHT_MODE, 0.03),
+)
+
+
+class NetworkMixture:
+    """Assigns network profiles to a device population."""
+
+    def __init__(
+        self,
+        mix: Sequence[tuple[NetworkProfile, float]] = DEFAULT_NETWORK_MIX,
+        seed: int = 0,
+    ) -> None:
+        mix = list(mix)
+        if not mix:
+            raise ValueError("at least one network profile is required")
+        if any(w <= 0 for _, w in mix):
+            raise ValueError("weights must be positive")
+        self.profiles = [p for p, _ in mix]
+        weights = np.array([w for _, w in mix], dtype=np.float64)
+        self.weights = weights / weights.sum()
+        self._rng = np.random.default_rng(np.random.SeedSequence((seed, 0x4E7)))
+
+    def sample(self, n_devices: int) -> list[NetworkProfile]:
+        """One profile per device."""
+        if n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        indices = self._rng.choice(len(self.profiles), size=n_devices, p=self.weights)
+        return [self.profiles[i] for i in indices]
+
+    def expected_failure_prob(self) -> float:
+        """Population-average upload failure probability.
+
+        A principled default for DeviceFlow's per-message dropout ``p``.
+        """
+        return float(sum(w * p.failure_prob for p, w in zip(self.profiles, self.weights)))

@@ -1,0 +1,57 @@
+"""Timezone assignment for simulated device populations."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: A coarse population-weighted UTC-offset distribution (hour offsets and
+#: relative weights): Asia-heavy, with European and American clusters —
+#: the Fig. 3 scenario mixes UTC+8, UTC-6 and UTC-4 devices.
+DEFAULT_OFFSET_WEIGHTS: tuple[tuple[int, float], ...] = (
+    (-8, 0.03), (-6, 0.06), (-5, 0.07), (-4, 0.04), (-3, 0.04),
+    (0, 0.05), (1, 0.10), (2, 0.06), (3, 0.06),
+    (5, 0.12), (6, 0.05), (7, 0.06), (8, 0.18), (9, 0.06),
+)
+
+
+class TimezoneMixture:
+    """Draws per-device UTC offsets from a population distribution.
+
+    Parameters
+    ----------
+    offset_weights:
+        ``(utc_offset_hours, weight)`` pairs; weights are normalised.
+    seed:
+        Draw reproducibility.
+    """
+
+    def __init__(
+        self,
+        offset_weights: Sequence[tuple[int, float]] = DEFAULT_OFFSET_WEIGHTS,
+        seed: int = 0,
+    ) -> None:
+        offset_weights = list(offset_weights)
+        if not offset_weights:
+            raise ValueError("at least one timezone is required")
+        if any(w <= 0 for _, w in offset_weights):
+            raise ValueError("weights must be positive")
+        self.offsets = np.array([o for o, _ in offset_weights], dtype=np.int32)
+        weights = np.array([w for _, w in offset_weights], dtype=np.float64)
+        self.weights = weights / weights.sum()
+        self._rng = np.random.default_rng(np.random.SeedSequence((seed, 0x72)))
+
+    def sample(self, n_devices: int) -> np.ndarray:
+        """UTC offsets (hours) for ``n_devices``."""
+        if n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        return self._rng.choice(self.offsets, size=n_devices, p=self.weights)
+
+    def local_hour(self, utc_hour: float, offset: int) -> float:
+        """Local wall-clock hour in ``[0, 24)`` for a device."""
+        return (utc_hour + offset) % 24.0
+
+    def offset_fractions(self) -> dict[int, float]:
+        """The normalised population share per UTC offset."""
+        return {int(o): float(w) for o, w in zip(self.offsets, self.weights)}

@@ -1,0 +1,33 @@
+"""Cloud-side services: storage, metrics database, aggregation, monitoring.
+
+In the paper's architecture the compute tiers upload results to shared
+storage and notify cloud services through DeviceFlow; "cloud services then
+retrieve the corresponding data from storage based on the received
+messages for further processing" (§V-A).  The flagship cloud service is
+model aggregation, triggered either by a sample-count threshold or on a
+schedule — the two conditions §VI-C1 evaluates.
+"""
+
+from repro.cloud.aggregation import (
+    AggregationRecord,
+    AggregationService,
+    AggregationTrigger,
+    SampleThresholdTrigger,
+    ScheduledTrigger,
+)
+from repro.cloud.database import MetricsDatabase
+from repro.cloud.monitor import Monitor, MonitorEvent
+from repro.cloud.storage import ObjectStorage, StoredObject
+
+__all__ = [
+    "AggregationRecord",
+    "AggregationService",
+    "AggregationTrigger",
+    "MetricsDatabase",
+    "Monitor",
+    "MonitorEvent",
+    "ObjectStorage",
+    "SampleThresholdTrigger",
+    "ScheduledTrigger",
+    "StoredObject",
+]

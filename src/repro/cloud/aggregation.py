@@ -1,0 +1,290 @@
+"""The aggregation service and its triggers.
+
+§VI-C1: "In real federated learning scenarios, the cloud usually does not
+know the exact number of participating devices or samples per training
+round in advance.  Therefore, conditions must be set to trigger
+aggregation.  Common triggers include reaching a threshold of total edge
+training samples or reaching scheduled times."  Both trigger types are
+implemented here and drive Figs. 9 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.cloud.database import MetricsDatabase
+from repro.cloud.storage import ObjectStorage
+from repro.data.avazu import DeviceDataset
+from repro.deviceflow.messages import Message
+from repro.ml.fedavg import FedAvgAggregator, ModelUpdate
+from repro.ml.model import LogisticRegressionModel
+from repro.simkernel import Simulator
+
+
+@dataclass
+class AggregationRecord:
+    """One completed aggregation round on the cloud side."""
+
+    round_index: int
+    time: float
+    n_updates: int
+    n_samples: int
+    test_loss: Optional[float] = None
+    test_accuracy: Optional[float] = None
+    test_auc: Optional[float] = None
+    train_loss: Optional[float] = None
+    train_accuracy: Optional[float] = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class AggregationTrigger:
+    """Base trigger; subclasses decide *when* the buffer folds."""
+
+    def start(self, service: "AggregationService") -> None:
+        """Called once when the service starts (schedule timers here)."""
+
+    def on_update(self, service: "AggregationService") -> None:
+        """Called after every buffered update."""
+
+    def stop(self, service: "AggregationService") -> None:
+        """Called when the service shuts down."""
+
+
+class SampleThresholdTrigger(AggregationTrigger):
+    """Aggregate as soon as buffered training samples reach a threshold."""
+
+    def __init__(self, threshold_samples: int) -> None:
+        if threshold_samples <= 0:
+            raise ValueError("threshold_samples must be positive")
+        self.threshold_samples = int(threshold_samples)
+
+    def on_update(self, service: "AggregationService") -> None:
+        while service.pending_samples >= self.threshold_samples:
+            service.aggregate_now()
+
+
+class ScheduledTrigger(AggregationTrigger):
+    """Aggregate at a fixed period (the paper's "scheduled aggregation").
+
+    Rounds with an empty buffer are skipped (nothing to fold), matching
+    timed-aggregation deployments that no-op on idle periods.
+    """
+
+    def __init__(self, period_s: float, max_rounds: Optional[int] = None) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if max_rounds is not None and max_rounds <= 0:
+            raise ValueError("max_rounds must be positive when set")
+        self.period_s = float(period_s)
+        self.max_rounds = max_rounds
+        self._fired = 0
+        self._stopped = False
+
+    def start(self, service: "AggregationService") -> None:
+        self._schedule_next(service)
+
+    def stop(self, service: "AggregationService") -> None:
+        self._stopped = True
+
+    def _schedule_next(self, service: "AggregationService") -> None:
+        if self._stopped:
+            return
+        if self.max_rounds is not None and self._fired >= self.max_rounds:
+            return
+        service.sim.schedule(self.period_s, self._fire, service)
+
+    def _fire(self, service: "AggregationService") -> None:
+        if self._stopped:
+            return
+        self._fired += 1
+        if service.pending_updates > 0:
+            service.aggregate_now()
+        self._schedule_next(service)
+
+
+class AggregationService:
+    """Receives update messages, folds them with FedAvg, tracks metrics.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    storage:
+        Shared object storage messages point into.
+    trigger:
+        Aggregation condition.
+    model:
+        The global model; ``None`` runs the service in counting mode
+        (large-scale scalability sweeps with no numeric training).
+    test_set:
+        Optional held-out shard evaluated after every aggregation.
+    train_eval_shards:
+        Optional ``device_id -> shard`` map; when present, each
+        aggregation also reports the aggregated model's metrics over the
+        union of *contributing* devices' data, or — with
+        ``train_eval_full`` — over the whole population (Fig. 9b's train
+        accuracy, measuring how representative the aggregate is of the
+        true distribution).
+    train_eval_full:
+        Evaluate train metrics over every shard instead of contributors.
+    on_global_model:
+        Callback ``(round_index, weights, bias)`` after each aggregation —
+        the platform redistributes the model to devices with it.
+    db:
+        Optional metrics database receiving one row per aggregation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        storage: ObjectStorage,
+        trigger: AggregationTrigger,
+        model: Optional[LogisticRegressionModel] = None,
+        test_set: Optional[DeviceDataset] = None,
+        train_eval_shards: Optional[dict[str, DeviceDataset]] = None,
+        train_eval_full: bool = False,
+        on_global_model: Optional[Callable[[int, np.ndarray, float], None]] = None,
+        db: Optional[MetricsDatabase] = None,
+        name: str = "aggregation",
+    ) -> None:
+        self.sim = sim
+        self.storage = storage
+        self.trigger = trigger
+        self.model = model
+        self.test_set = test_set
+        self.train_eval_shards = train_eval_shards or {}
+        self.train_eval_full = train_eval_full
+        self.on_global_model = on_global_model
+        self.db = db
+        self.name = name
+        self.aggregator = FedAvgAggregator()
+        self.history: list[AggregationRecord] = []
+        self.messages_received = 0
+        self.bytes_received = 0
+        self.receive_log: list[tuple[float, int]] = []
+        self._pending_sample_count = 0
+        self._contributors: list[str] = []
+        self._round = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_updates(self) -> int:
+        """Updates buffered since the last aggregation."""
+        return len(self.aggregator) if self.model is not None else len(self._contributors)
+
+    @property
+    def pending_samples(self) -> int:
+        """Training samples represented by the buffer."""
+        return self._pending_sample_count
+
+    @property
+    def rounds_completed(self) -> int:
+        """Aggregations performed so far."""
+        return self._round
+
+    def start(self) -> None:
+        """Arm the trigger (idempotent)."""
+        if not self._started:
+            self._started = True
+            self.trigger.start(self)
+
+    def stop(self) -> None:
+        """Disarm the trigger."""
+        if self._started:
+            self.trigger.stop(self)
+            self._started = False
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def receive_message(self, message: Message) -> None:
+        """DeviceFlow downstream endpoint: fetch and buffer the update."""
+        self.messages_received += 1
+        self.bytes_received += message.size_bytes
+        self.receive_log.append((self.sim.now, 1))
+        if self.model is not None:
+            payload = self.storage.get(message.payload_ref)
+            if not isinstance(payload, ModelUpdate):
+                raise TypeError(
+                    f"storage object {message.payload_ref!r} is not a ModelUpdate"
+                )
+            self.aggregator.add(payload)
+        self._contributors.append(message.device_id)
+        self._pending_sample_count += message.n_samples
+        self.trigger.on_update(self)
+
+    def receive_update(self, update: ModelUpdate) -> None:
+        """Direct ingestion path (bypassing DeviceFlow and storage)."""
+        self.messages_received += 1
+        self.receive_log.append((self.sim.now, 1))
+        if self.model is not None:
+            self.aggregator.add(update)
+        self._contributors.append(update.device_id)
+        self._pending_sample_count += update.n_samples
+        self.trigger.on_update(self)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def aggregate_now(self) -> AggregationRecord:
+        """Fold the buffer into the global model and record metrics."""
+        if self.pending_updates == 0:
+            raise RuntimeError("nothing buffered to aggregate")
+        self._round += 1
+        contributors, self._contributors = self._contributors, []
+        n_samples, self._pending_sample_count = self._pending_sample_count, 0
+        record = AggregationRecord(
+            round_index=self._round,
+            time=self.sim.now,
+            n_updates=len(contributors),
+            n_samples=n_samples,
+        )
+        if self.model is not None:
+            weights, bias, _ = self.aggregator.aggregate()
+            self.model.set_params(weights, bias)
+            self._evaluate(record, contributors)
+            if self.on_global_model is not None:
+                self.on_global_model(self._round, weights, bias)
+        elif self.on_global_model is not None:
+            self.on_global_model(self._round, np.zeros(1), 0.0)
+        self.history.append(record)
+        if self.db is not None:
+            self.db.insert(
+                "aggregations",
+                {
+                    "service": self.name,
+                    "round": record.round_index,
+                    "time": record.time,
+                    "n_updates": record.n_updates,
+                    "n_samples": record.n_samples,
+                    "test_loss": record.test_loss,
+                    "test_accuracy": record.test_accuracy,
+                },
+            )
+        return record
+
+    def _evaluate(self, record: AggregationRecord, contributors: list[str]) -> None:
+        assert self.model is not None
+        if self.test_set is not None:
+            metrics = self.model.evaluate(self.test_set.features, self.test_set.labels)
+            record.test_loss = metrics["log_loss"]
+            record.test_accuracy = metrics["accuracy"]
+            record.test_auc = metrics["auc"]
+        if self.train_eval_full:
+            shards = list(self.train_eval_shards.values())
+        else:
+            shards = [
+                self.train_eval_shards[d]
+                for d in set(contributors)
+                if d in self.train_eval_shards
+            ]
+        if shards:
+            features = np.concatenate([s.features for s in shards])
+            labels = np.concatenate([s.labels for s in shards])
+            metrics = self.model.evaluate(features, labels)
+            record.train_loss = metrics["log_loss"]
+            record.train_accuracy = metrics["accuracy"]

@@ -1,0 +1,76 @@
+"""The cloud metrics database.
+
+PhoneMgr "retrieves information from these devices at a certain frequency,
+organizes it in real-time, and uploads it to the cloud database for
+storage" (§IV-C).  The database is a set of append-only tables of dict
+records with a small query interface — enough to back the GUI-style
+monitoring views and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Optional
+
+
+class MetricsDatabase:
+    """Append-only dict-record tables with filtered queries."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, list[dict[str, Any]]] = defaultdict(list)
+
+    def insert(self, table: str, record: dict[str, Any]) -> None:
+        """Append one record (shallow-copied) to ``table``."""
+        if not table:
+            raise ValueError("table name must be non-empty")
+        if not isinstance(record, dict):
+            raise TypeError(f"record must be a dict, got {type(record).__name__}")
+        self._tables[table].append(dict(record))
+
+    def insert_many(self, table: str, records: Iterable[dict[str, Any]]) -> int:
+        """Append several records; returns how many."""
+        count = 0
+        for record in records:
+            self.insert(table, record)
+            count += 1
+        return count
+
+    def query(
+        self,
+        table: str,
+        where: Optional[Callable[[dict[str, Any]], bool]] = None,
+        **equals: Any,
+    ) -> list[dict[str, Any]]:
+        """Records matching the predicate and/or field-equality filters.
+
+        ``db.query("device_samples", serial="local-00")`` filters on
+        equality; ``where`` adds an arbitrary predicate.
+        """
+        rows = self._tables.get(table, [])
+        out = []
+        for row in rows:
+            if equals and any(row.get(k) != v for k, v in equals.items()):
+                continue
+            if where is not None and not where(row):
+                continue
+            out.append(row)
+        return out
+
+    def count(self, table: str, **equals: Any) -> int:
+        """Number of matching records."""
+        return len(self.query(table, **equals))
+
+    def tables(self) -> list[str]:
+        """Non-empty table names, sorted."""
+        return sorted(name for name, rows in self._tables.items() if rows)
+
+    def column(self, table: str, field: str, **equals: Any) -> list[Any]:
+        """One field across matching records (missing fields skipped)."""
+        return [row[field] for row in self.query(table, **equals) if field in row]
+
+    def clear(self, table: Optional[str] = None) -> None:
+        """Drop one table, or everything."""
+        if table is None:
+            self._tables.clear()
+        else:
+            self._tables.pop(table, None)

@@ -1,0 +1,68 @@
+"""Task and platform monitoring — the GUI's data source.
+
+The paper's users "monitor various computational metrics, edge device
+performance, and updates to cloud services throughout the task execution
+process via the GUI" (§III-C).  The GUI itself is presentation; this
+module captures everything it would show as a queryable event log plus
+counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.simkernel import Simulator
+
+
+@dataclass
+class MonitorEvent:
+    """One timestamped platform event."""
+
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+class Monitor:
+    """Chronological event log with per-kind counters and summaries."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.events: list[MonitorEvent] = []
+        self.counters: Counter = Counter()
+
+    def log(self, kind: str, **fields: Any) -> MonitorEvent:
+        """Record an event at the current simulated time."""
+        if not kind:
+            raise ValueError("event kind must be non-empty")
+        event = MonitorEvent(time=self.sim.now, kind=kind, fields=fields)
+        self.events.append(event)
+        self.counters[kind] += 1
+        return event
+
+    def of_kind(self, kind: str) -> list[MonitorEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def last(self, kind: str) -> Optional[MonitorEvent]:
+        """Most recent event of one kind."""
+        for event in reversed(self.events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def between(self, start: float, end: float) -> list[MonitorEvent]:
+        """Events with ``start <= time <= end``."""
+        return [e for e in self.events if start <= e.time <= end]
+
+    def summary(self) -> dict[str, int]:
+        """Event counts by kind."""
+        return dict(self.counters)
+
+    def timeline(self, kind: str, value_field: str) -> list[tuple[float, Any]]:
+        """``(time, fields[value_field])`` series for plotting."""
+        return [
+            (e.time, e.fields[value_field]) for e in self.of_kind(kind) if value_field in e.fields
+        ]

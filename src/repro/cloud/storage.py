@@ -1,0 +1,88 @@
+"""Shared object storage for model payloads and device results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class StoredObject:
+    """One stored payload with accounting metadata."""
+
+    key: str
+    value: Any
+    size_bytes: int
+    stored_at: float
+    writer: str = ""
+
+
+class ObjectStorage:
+    """A keyed blob store with transfer-time accounting.
+
+    Values are arbitrary Python objects (serialized updates, model
+    parameters, dataset shards); ``size_bytes`` drives the simulated
+    transfer costs charged by the tiers that move the data.  The store
+    itself is instantaneous — durability and placement are out of the
+    paper's scope.
+    """
+
+    def __init__(self, bandwidth_bps: float = 1e9, latency_s: float = 0.01) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self._objects: dict[str, StoredObject] = {}
+        self.total_bytes_written = 0
+        self.total_bytes_read = 0
+        self.put_count = 0
+        self.get_count = 0
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def put(self, key: str, value: Any, size_bytes: int, now: float = 0.0, writer: str = "") -> StoredObject:
+        """Store (or overwrite) a payload under ``key``."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        record = StoredObject(key=key, value=value, size_bytes=int(size_bytes), stored_at=now, writer=writer)
+        self._objects[key] = record
+        self.total_bytes_written += int(size_bytes)
+        self.put_count += 1
+        return record
+
+    def get(self, key: str) -> Any:
+        """Fetch a payload; raises ``KeyError`` if absent."""
+        if key not in self._objects:
+            raise KeyError(f"no object stored under {key!r}")
+        record = self._objects[key]
+        self.total_bytes_read += record.size_bytes
+        self.get_count += 1
+        return record.value
+
+    def head(self, key: str) -> StoredObject:
+        """Metadata of a stored object without a read charge."""
+        if key not in self._objects:
+            raise KeyError(f"no object stored under {key!r}")
+        return self._objects[key]
+
+    def delete(self, key: str) -> None:
+        """Remove a payload."""
+        if key not in self._objects:
+            raise KeyError(f"no object stored under {key!r}")
+        del self._objects[key]
+
+    def transfer_duration(self, size_bytes: int) -> float:
+        """Seconds to move ``size_bytes`` over the storage link."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        return self.latency_s + size_bytes / self.bandwidth_bps
+
+    def keys(self) -> list[str]:
+        """All stored keys, sorted."""
+        return sorted(self._objects)

@@ -1,0 +1,37 @@
+"""Logical Simulation substrate: a Ray-on-Kubernetes-like cluster model.
+
+The paper's logical tier deploys Ray clusters on elastic Kubernetes nodes;
+a master "Ray Runner" downloads data, configures runtime parameters, and
+launches placement groups of actors on worker nodes, "with each actor
+sequentially simulating multiple devices" (§IV-A).
+
+This package rebuilds that substrate over the discrete-event kernel: nodes
+with CPU/memory/GPU capacity, placement groups packed or spread across
+nodes, actors that execute operator flows for a queue of simulated devices
+while advancing simulated time according to a calibrated cost model, and a
+job-submission lifecycle.
+"""
+
+from repro.cluster.actor import DeviceAssignment, SimActor
+from repro.cluster.cluster import K8sCluster
+from repro.cluster.cost import LogicalCostModel
+from repro.cluster.job import JobState, RayJob
+from repro.cluster.placement import PlacementGroup, PlacementStrategy
+from repro.cluster.resources import NodeSpec, ResourceBundle
+from repro.cluster.runner import GradeExecutionPlan, LogicalSimulation, RoundResult
+
+__all__ = [
+    "DeviceAssignment",
+    "GradeExecutionPlan",
+    "JobState",
+    "K8sCluster",
+    "LogicalCostModel",
+    "LogicalSimulation",
+    "NodeSpec",
+    "PlacementGroup",
+    "PlacementStrategy",
+    "RayJob",
+    "ResourceBundle",
+    "RoundResult",
+    "SimActor",
+]

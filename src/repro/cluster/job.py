@@ -1,0 +1,76 @@
+"""Ray-like job submission lifecycle."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from repro.simkernel import Process, Signal, Simulator
+
+_job_counter = itertools.count()
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job (mirrors Ray's job states)."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    SUCCEEDED = "SUCCEEDED"
+    FAILED = "FAILED"
+
+
+class RayJob:
+    """A unit of work submitted to the cluster's job manager.
+
+    The body is a process generator; the job tracks state transitions and
+    exposes a completion :class:`Signal` so the Task Runner can await it.
+    """
+
+    def __init__(self, body: Callable[[], Generator], name: str = "") -> None:
+        self.job_id = f"raysubmit_{next(_job_counter):06d}"
+        self.name = name or self.job_id
+        self.body = body
+        self.state = JobState.PENDING
+        self.submitted_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.completion = Signal(name=f"{self.job_id}.completion")
+        self._process: Optional[Process] = None
+
+    def submit(self, sim: Simulator) -> "RayJob":
+        """Start the job body as a simulation process."""
+        if self.submitted_at is not None:
+            raise RuntimeError(f"job {self.job_id} was already submitted")
+        self.submitted_at = sim.now
+        self._process = sim.process(self._wrapper(sim), name=self.name)
+        return self
+
+    def _wrapper(self, sim: Simulator) -> Generator:
+        self.state = JobState.RUNNING
+        self.started_at = sim.now
+        try:
+            result = yield sim.process(self.body(), name=f"{self.name}.body")
+        except BaseException as exc:  # noqa: BLE001 - job captures its body's failure
+            self.state = JobState.FAILED
+            self.error = exc
+            self.finished_at = sim.now
+            self.completion.fail(exc)
+            return None
+        self.state = JobState.SUCCEEDED
+        self.result = result
+        self.finished_at = sim.now
+        self.completion.fire(result)
+        return result
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Wall (simulated) run time once finished."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:
+        return f"RayJob({self.job_id}, {self.state.value})"

@@ -1,0 +1,237 @@
+"""The Ray Runner: master-node orchestration of the logical tier.
+
+"The master node (Ray Runner) is responsible for data downloading,
+distribution, and the configuration of runtime parameters for the simulated
+devices" (§IV-A).  :class:`LogicalSimulation` wraps the whole tier: it
+reserves a placement group on the cluster, starts actors, stages data, and
+fans rounds out across the actors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.cluster.actor import DeviceAssignment, DeviceRoundOutcome, SimActor
+from repro.cluster.cluster import K8sCluster
+from repro.cluster.cost import LogicalCostModel
+from repro.cluster.placement import PlacementGroup, PlacementStrategy
+from repro.cluster.resources import ResourceBundle
+from repro.ml.backends import SERVER_BACKEND, NumericBackend
+from repro.ml.operators import OperatorFlow
+from repro.simkernel import AllOf, RandomStreams, Simulator, Timeout
+
+
+@dataclass
+class GradeExecutionPlan:
+    """Everything the logical tier needs to simulate one device grade.
+
+    Attributes
+    ----------
+    grade:
+        Grade label ("High"/"Low" in the paper's experiments).
+    assignments:
+        The devices of this grade allocated to the logical tier.
+    n_actors:
+        Concurrent device slots, i.e. requested unit bundles over units
+        per device (``f_i / k_i``).
+    bundle:
+        Composite resource bundle backing each actor.
+    flow:
+        The task's operator flow.
+    feature_dim:
+        Model dimensionality for numeric runs.
+    backend:
+        Numeric backend of this tier (server-side by default).
+    numeric:
+        When false, flows advance simulated time but skip the ML math —
+        used for the 100k-device scalability sweeps.
+    """
+
+    grade: str
+    assignments: list[DeviceAssignment]
+    n_actors: int
+    bundle: ResourceBundle
+    flow: OperatorFlow
+    feature_dim: int = 4096
+    backend: NumericBackend = SERVER_BACKEND
+    numeric: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_actors <= 0:
+            raise ValueError("n_actors must be positive")
+
+    def dataset_bytes(self) -> int:
+        """Total bytes of local data staged for this grade."""
+        return sum(
+            a.dataset.nbytes() if a.dataset is not None else 64 * a.n_samples
+            for a in self.assignments
+        )
+
+
+@dataclass
+class RoundResult:
+    """Summary of one logical-tier round."""
+
+    round_index: int
+    outcomes: list[DeviceRoundOutcome] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds from round start to last device completion."""
+        return self.finished_at - self.started_at
+
+    @property
+    def n_devices(self) -> int:
+        """Devices that completed the round."""
+        return len(self.outcomes)
+
+
+class LogicalSimulation:
+    """Facade over cluster + actors for one task's logical tier.
+
+    Usage: ``prepare`` (allocates resources, starts actors, stages data)
+    then ``run_round`` once per collaboration round, then ``teardown``.
+    All three return process generators to be driven by the simulator.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: K8sCluster,
+        cost_model: Optional[LogicalCostModel] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.cost_model = cost_model or LogicalCostModel()
+        self.streams = streams or RandomStreams(0)
+        self.plans: list[GradeExecutionPlan] = []
+        self.actors: dict[str, list[SimActor]] = {}
+        self.placement_group: Optional[PlacementGroup] = None
+        self.rounds: list[RoundResult] = []
+
+    def prepare(self, plans: list[GradeExecutionPlan], task_id: str = "task") -> Generator:
+        """Allocate the placement group, start actors, stage datasets.
+
+        Raises ``RuntimeError`` if the cluster cannot host the requested
+        bundles — the Task Scheduler should have checked capacity first.
+        """
+        if self.placement_group is not None:
+            raise RuntimeError("LogicalSimulation is already prepared")
+        self.plans = list(plans)
+        bundles: list[ResourceBundle] = []
+        for plan in self.plans:
+            bundles.extend([plan.bundle] * plan.n_actors)
+        if not bundles:
+            return
+        group = self.cluster.allocate(bundles, PlacementStrategy.PACK)
+        if group is None:
+            raise RuntimeError(
+                f"cluster cannot host {len(bundles)} bundles for task {task_id!r}"
+            )
+        self.placement_group = group
+
+        yield Timeout(self.cost_model.runner_setup)
+
+        startups = []
+        for plan in self.plans:
+            actors = [
+                SimActor(
+                    self.sim,
+                    actor_id=f"{task_id}.{plan.grade}.{i}",
+                    grade=plan.grade,
+                    cost_model=self.cost_model,
+                    backend=plan.backend,
+                    streams=self.streams,
+                )
+                for i in range(plan.n_actors)
+            ]
+            self.actors[plan.grade] = actors
+            shard_bytes = self.cost_model.waves(len(plan.assignments), plan.n_actors)
+            per_actor_bytes = plan.dataset_bytes() // max(1, plan.n_actors)
+            for actor in actors:
+                startups.append(
+                    self.sim.process(
+                        self._start_actor(actor, per_actor_bytes),
+                        name=f"{actor.actor_id}.startup",
+                    )
+                )
+            del shard_bytes  # staging cost is uniform per actor
+        yield AllOf(startups)
+
+    def _start_actor(self, actor: SimActor, data_bytes: int) -> Generator:
+        yield self.sim.process(actor.startup(), name=f"{actor.actor_id}.boot")
+        yield self.sim.process(actor.download(data_bytes), name=f"{actor.actor_id}.data-dl")
+
+    def run_round(
+        self,
+        round_index: int,
+        global_weights: Optional[np.ndarray],
+        global_bias: float,
+        model_bytes: int,
+        on_outcome: Callable[[DeviceRoundOutcome], None],
+    ) -> Generator:
+        """Execute one round across every grade's actors; barrier at end.
+
+        ``on_outcome`` fires per device *as results complete*, which is
+        what feeds DeviceFlow mid-round; the returned process resolves with
+        a :class:`RoundResult` once every device has finished.
+        """
+        if self.placement_group is None and self.plans:
+            raise RuntimeError("call prepare() before run_round()")
+        result = RoundResult(round_index=round_index, started_at=self.sim.now)
+
+        def collect(outcome: DeviceRoundOutcome) -> None:
+            result.outcomes.append(outcome)
+            on_outcome(outcome)
+
+        actor_processes = []
+        for plan in self.plans:
+            queues = self._partition(plan.assignments, plan.n_actors)
+            for actor, queue in zip(self.actors[plan.grade], queues):
+                actor_processes.append(
+                    self.sim.process(
+                        actor.run_round(
+                            queue,
+                            round_index,
+                            plan.flow,
+                            global_weights,
+                            global_bias,
+                            plan.feature_dim,
+                            model_bytes,
+                            plan.numeric,
+                            collect,
+                        ),
+                        name=f"{actor.actor_id}.round{round_index}",
+                    )
+                )
+        if actor_processes:
+            yield AllOf(actor_processes)
+        result.finished_at = self.sim.now
+        self.rounds.append(result)
+        return result
+
+    def teardown(self) -> None:
+        """Release the placement group back to the cluster."""
+        if self.placement_group is not None:
+            self.cluster.release(self.placement_group)
+            self.placement_group = None
+        self.actors.clear()
+
+    @staticmethod
+    def _partition(assignments: list[DeviceAssignment], n_actors: int) -> list[list[DeviceAssignment]]:
+        """Deterministic round-robin split of devices across actors."""
+        queues: list[list[DeviceAssignment]] = [[] for _ in range(n_actors)]
+        for index, assignment in enumerate(assignments):
+            queues[index % n_actors].append(assignment)
+        return queues
+
+    @property
+    def total_devices_completed(self) -> int:
+        """Devices completed across all rounds so far."""
+        return sum(len(r.outcomes) for r in self.rounds)

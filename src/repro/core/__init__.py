@@ -1,0 +1,6 @@
+"""The SimDC platform facade — the library's primary public API."""
+
+from repro.core.config import PlatformConfig
+from repro.core.platform import SimDC
+
+__all__ = ["PlatformConfig", "SimDC"]

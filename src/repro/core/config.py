@@ -1,0 +1,74 @@
+"""Platform configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cluster.cost import LogicalCostModel
+from repro.cluster.resources import NodeSpec, ResourceBundle
+from repro.phones.cost import PhysicalCostModel
+from repro.phones.specs import DEFAULT_LOCAL_FLEET, DEFAULT_MSP_FLEET, PhoneSpec
+
+
+@dataclass
+class PlatformConfig:
+    """Everything needed to stand up a SimDC deployment.
+
+    The defaults reproduce the paper's experimental environment (§VI-A2):
+    a 200-core / 300-GB Ray-on-k8s cluster, 10 local phones (4 High +
+    6 Low), 20 MSP phones (13 High + 7 Low), a 700-message/s DeviceFlow
+    dispatcher, and 1-CPU/1-GB unit resource bundles.
+
+    Attributes
+    ----------
+    seed:
+        Master seed for every random stream in the run.
+    cluster_nodes:
+        Worker-node shapes of the logical tier.
+    local_fleet / msp_fleet:
+        Phone hardware of the physical tier.
+    msp_availability / msp_control_latency:
+        Remote-pool behaviour.
+    deviceflow_capacity:
+        Single-threaded dispatcher throughput (messages per second).
+    unit_bundle:
+        The indivisible logical allocation unit.
+    logical_cost / physical_cost:
+        Calibrated runtime constants (alpha / beta / lambda ...).
+    poll_interval:
+        Benchmarking-device sampling period.
+    scheduling_interval:
+        Task Manager background tick.
+    """
+
+    seed: int = 0
+    cluster_nodes: Sequence[NodeSpec] = field(
+        default_factory=lambda: [NodeSpec(cpus=20, memory_gb=30)] * 10
+    )
+    local_fleet: Sequence[PhoneSpec] = DEFAULT_LOCAL_FLEET
+    msp_fleet: Sequence[PhoneSpec] = DEFAULT_MSP_FLEET
+    msp_availability: float = 1.0
+    msp_control_latency: float = 0.8
+    deviceflow_capacity: float = 700.0
+    unit_bundle: ResourceBundle = field(
+        default_factory=lambda: ResourceBundle(cpus=1.0, memory_gb=1.0)
+    )
+    logical_cost: Optional[LogicalCostModel] = None
+    physical_cost: Optional[PhysicalCostModel] = None
+    poll_interval: float = 1.0
+    scheduling_interval: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.cluster_nodes:
+            raise ValueError("at least one cluster node is required")
+        if self.deviceflow_capacity <= 0:
+            raise ValueError("deviceflow_capacity must be positive")
+        if self.poll_interval <= 0 or self.scheduling_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if self.logical_cost is None:
+            self.logical_cost = LogicalCostModel()
+        if self.physical_cost is None:
+            self.physical_cost = PhysicalCostModel(
+                msp_control_latency=self.msp_control_latency
+            )

@@ -1,0 +1,125 @@
+"""Device partitioning and distribution-shift helpers.
+
+Three concerns live here:
+
+* planting the paper's "differentially distributed" label skew (70% of
+  devices positive-heavy, 30% negative-heavy — Fig. 11b);
+* mapping device CTR to upload delay profiles (the Fig. 9 scenario where
+  high-CTR clients respond faster than low-CTR clients);
+* slicing a flat record table by a device-id column, mirroring how the
+  paper carves the real Avazu CSV into per-device shards.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def label_skew_device_biases(
+    n_devices: int,
+    positive_fraction: float = 0.7,
+    spread: float = 2.5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-device logit offsets realising the paper's 70/30 split.
+
+    A fraction ``positive_fraction`` of devices receives logit offset
+    ``+spread`` (a high proportion of positive samples) and the rest
+    ``-spread`` (negative-heavy).  Device order is shuffled so grade or id
+    ordering does not correlate with skew.
+
+    Returns an array aligned with generator device index ``i``.
+    """
+    if not 0.0 <= positive_fraction <= 1.0:
+        raise ValueError("positive_fraction must be within [0, 1]")
+    if spread < 0:
+        raise ValueError("spread must be >= 0")
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 0x5EED)))
+    n_positive = int(round(positive_fraction * n_devices))
+    biases = np.full(n_devices, -spread)
+    biases[:n_positive] = spread
+    rng.shuffle(biases)
+    return biases
+
+
+def assign_delay_profiles(
+    device_biases: dict[str, float],
+    sigma: float,
+    max_delay: float,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Map device label bias (a CTR proxy) to an upload delay.
+
+    The Fig. 9 scenario: "clients with higher CTR transmit data faster to
+    the cloud, while those with lower CTR experience longer delays".  The
+    delay for the device at CTR-rank ``u`` (0 = highest CTR) is the
+    ``u``-quantile of a right-tailed normal ``|N(0, sigma)|`` — exactly the
+    family of traffic curves the paper shapes with DeviceFlow — truncated
+    to ``max_delay``.  Ties in bias are broken by a seeded jitter so equal-
+    bias devices spread across the curve.
+
+    Returns ``device_id -> delay_seconds``.
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if max_delay <= 0:
+        raise ValueError("max_delay must be positive")
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 0xDE1A)))
+    ids = sorted(device_biases)
+    jitter = rng.normal(0.0, 1e-6, len(ids))
+    scores = np.array([device_biases[d] for d in ids]) + jitter
+    # Highest CTR (largest bias) should get rank 0 -> shortest delay.
+    order = np.argsort(-scores)
+    ranks = np.empty(len(ids), dtype=int)
+    ranks[order] = np.arange(len(ids))
+    quantiles = (ranks + 0.5) / len(ids)
+    # Quantile of |N(0, sigma)|: use the inverse error function.  Delays
+    # beyond the window are truncated (the device responds at the window
+    # edge), preserving sigma's control over how early mass arrives.
+    from scipy.special import erfinv
+
+    delays = sigma * np.sqrt(2.0) * erfinv(quantiles)
+    delays = np.minimum(delays, max_delay)
+    return {device_id: float(delay) for device_id, delay in zip(ids, delays)}
+
+
+def split_by_device_column(
+    features: np.ndarray,
+    labels: np.ndarray,
+    device_ids: Sequence[str],
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Group a flat record table into per-device shards.
+
+    Mirrors the paper's preparation step of grouping the Avazu CSV by its
+    ``device_id`` column.  Rows keep their original relative order within
+    each shard.
+
+    Returns ``device_id -> (features, labels)``.
+    """
+    if len(features) != len(labels) or len(labels) != len(device_ids):
+        raise ValueError("features, labels and device_ids must align")
+    ids = np.asarray(device_ids)
+    shards: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for device_id in np.unique(ids):
+        mask = ids == device_id
+        shards[str(device_id)] = (features[mask], labels[mask])
+    return shards
+
+
+def iid_sample_counts(
+    n_devices: int, total_records: int, seed: int = 0
+) -> np.ndarray:
+    """Near-uniform record counts summing exactly to ``total_records``."""
+    if n_devices <= 0:
+        raise ValueError("n_devices must be positive")
+    if total_records < n_devices:
+        raise ValueError("need at least one record per device")
+    base = total_records // n_devices
+    counts = np.full(n_devices, base)
+    remainder = total_records - base * n_devices
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 0x11D)))
+    extra = rng.choice(n_devices, size=remainder, replace=False)
+    counts[extra] += 1
+    return counts

@@ -1,0 +1,164 @@
+"""The DeviceFlow facade: wiring Sorter, Shelves, Dispatchers, Strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.deviceflow.dispatcher import Dispatcher
+from repro.deviceflow.messages import Message
+from repro.deviceflow.shelf import Shelf
+from repro.deviceflow.sorter import Sorter
+from repro.deviceflow.strategy import DispatchStrategy
+from repro.simkernel import RandomStreams, Simulator
+
+
+@dataclass
+class TaskFlowStats:
+    """Monitoring snapshot of one task's traffic through DeviceFlow."""
+
+    task_id: str
+    received: int
+    shelved: int
+    dispatched: int
+    delivered: int
+    dropped_failure: int
+    dropped_discard: int
+
+    @property
+    def dropped(self) -> int:
+        """All dropout losses."""
+        return self.dropped_failure + self.dropped_discard
+
+
+class DeviceFlow:
+    """The device behaviour traffic controller.
+
+    Tasks register a strategy plus a downstream endpoint; the compute
+    tiers submit messages; the platform signals round boundaries.  Every
+    task gets an isolated shelf + dispatcher pair, so "the dispatch
+    processes of different tasks remain isolated and do not interfere".
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    streams:
+        Deterministic random streams (dropout draws).
+    capacity_per_second:
+        Single-threaded transmission capacity of each dispatcher (the
+        paper's example: 700 messages per second).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: Optional[RandomStreams] = None,
+        capacity_per_second: float = 700.0,
+    ) -> None:
+        self.sim = sim
+        self.streams = streams or RandomStreams(0)
+        self.capacity_per_second = float(capacity_per_second)
+        self.sorter = Sorter()
+        self._dispatchers: dict[str, Dispatcher] = {}
+        self._received: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # task registration
+    # ------------------------------------------------------------------
+    def register_task(
+        self,
+        task_id: str,
+        strategy: DispatchStrategy,
+        downstream: Callable[[Message], None],
+    ) -> Dispatcher:
+        """Create the task's shelf + dispatcher; returns the dispatcher."""
+        if task_id in self._dispatchers:
+            raise ValueError(f"task {task_id!r} already registered with DeviceFlow")
+        shelf = Shelf(task_id)
+        self.sorter.register_shelf(shelf)
+        dispatcher = Dispatcher(
+            self.sim,
+            shelf,
+            strategy,
+            downstream,
+            capacity_per_second=self.capacity_per_second,
+            rng=self.streams.get(f"deviceflow.{task_id}"),
+        )
+        self._dispatchers[task_id] = dispatcher
+        self._received[task_id] = 0
+        return dispatcher
+
+    def unregister_task(self, task_id: str) -> None:
+        """Detach a finished task (its shelf must be empty)."""
+        dispatcher = self._require(task_id)
+        if len(dispatcher.shelf) > 0:
+            raise RuntimeError(
+                f"task {task_id!r} still has {len(dispatcher.shelf)} shelved messages"
+            )
+        self.sorter.unregister_shelf(task_id)
+        del self._dispatchers[task_id]
+
+    def force_unregister(self, task_id: str) -> int:
+        """Detach a crashed task, discarding shelved messages.
+
+        Returns the number of messages discarded.  Already-scheduled
+        dispatch callbacks become no-ops (the shelf is empty).
+        """
+        dispatcher = self._require(task_id)
+        discarded = len(dispatcher.shelf.take_all())
+        self.sorter.unregister_shelf(task_id)
+        del self._dispatchers[task_id]
+        return discarded
+
+    def dispatcher_for(self, task_id: str) -> Dispatcher:
+        """The task's dispatcher (for inspection / monitoring)."""
+        return self._require(task_id)
+
+    @property
+    def task_ids(self) -> list[str]:
+        """Registered task ids."""
+        return sorted(self._dispatchers)
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def submit(self, message: Message) -> None:
+        """Accept a message from a compute tier (stamps arrival time)."""
+        dispatcher = self._require(message.task_id)
+        message.created_at = self.sim.now
+        self.sorter.route(message)
+        self._received[message.task_id] += 1
+        dispatcher.on_message(message)
+
+    # ------------------------------------------------------------------
+    # control plane (round lifecycle from the platform)
+    # ------------------------------------------------------------------
+    def round_started(self, task_id: str, round_index: int) -> None:
+        """Signal that a task's round began computing."""
+        self._require(task_id).round_started(round_index)
+
+    def round_completed(self, task_id: str, round_index: int) -> None:
+        """Signal that a task's round finished computing."""
+        self._require(task_id).round_completed(round_index)
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+    def stats(self, task_id: str) -> TaskFlowStats:
+        """Current traffic counters for one task."""
+        dispatcher = self._require(task_id)
+        return TaskFlowStats(
+            task_id=task_id,
+            received=self._received[task_id],
+            shelved=len(dispatcher.shelf),
+            dispatched=dispatcher.dispatched,
+            delivered=dispatcher.delivered,
+            dropped_failure=dispatcher.dropped_failure,
+            dropped_discard=dispatcher.dropped_discard,
+        )
+
+    def _require(self, task_id: str) -> Dispatcher:
+        if task_id not in self._dispatchers:
+            raise KeyError(f"task {task_id!r} is not registered with DeviceFlow")
+        return self._dispatchers[task_id]

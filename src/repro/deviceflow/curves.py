@@ -1,0 +1,171 @@
+"""Traffic-curve library for time-interval dispatching.
+
+§V-B constrains user-defined transmission-rate functions: "The transmission
+rate function y must be a single-valued, bounded, non-negative continuous
+function, supporting piecewise continuity."  :class:`TrafficCurve` wraps a
+plain callable with its domain and enforces those properties numerically;
+the module also ships every curve the paper evaluates (Table II and the
+right-tailed normals of Figs. 9-10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+
+class TrafficCurve:
+    """A validated transmission-rate function ``y = f(t)`` on ``[a, b]``.
+
+    Parameters
+    ----------
+    fn:
+        Vectorisable callable (accepts numpy arrays).
+    domain:
+        Closed interval the curve is defined on.  §V-B: "the domain of t
+        is a closed interval, which can be scaled to align with the user-
+        defined specific time interval."
+    name:
+        Display name (appears in Table II).
+    validation_points:
+        Grid resolution used to check non-negativity and boundedness.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[np.ndarray], np.ndarray],
+        domain: tuple[float, float],
+        name: str = "custom",
+        validation_points: int = 2048,
+    ) -> None:
+        low, high = float(domain[0]), float(domain[1])
+        if not math.isfinite(low) or not math.isfinite(high):
+            raise ValueError("domain endpoints must be finite")
+        if high <= low:
+            raise ValueError(f"domain must satisfy a < b, got [{low}, {high}]")
+        self.fn = fn
+        self.domain = (low, high)
+        self.name = name
+        self._validate(validation_points)
+
+    def _validate(self, n_points: int) -> None:
+        grid = np.linspace(self.domain[0], self.domain[1], n_points)
+        values = np.asarray(self.fn(grid), dtype=np.float64)
+        if values.shape != grid.shape:
+            raise ValueError(f"curve {self.name!r} is not single-valued/vectorised")
+        if not np.all(np.isfinite(values)) or float(np.abs(values).max()) > 1e12:
+            raise ValueError(f"curve {self.name!r} is unbounded on its domain")
+        if np.any(values < 0):
+            raise ValueError(f"curve {self.name!r} is negative on its domain")
+        if float(values.max()) == 0.0:
+            raise ValueError(f"curve {self.name!r} is identically zero")
+
+    def __call__(self, t: np.ndarray) -> np.ndarray:
+        return np.asarray(self.fn(np.asarray(t, dtype=np.float64)), dtype=np.float64)
+
+    @property
+    def width(self) -> float:
+        """Domain length ``b - a``."""
+        return self.domain[1] - self.domain[0]
+
+    def area(self, n_points: int = 4096) -> float:
+        """Trapezoidal area under the curve over its whole domain."""
+        grid = np.linspace(self.domain[0], self.domain[1], n_points)
+        return float(np.trapezoid(self(grid), grid))
+
+    def to_actual_time(self, interval_seconds: float) -> Callable[[np.ndarray], np.ndarray]:
+        """Rate as a function of actual elapsed seconds in ``[0, T]``.
+
+        Linearly rescales the domain onto the dispatch window; the *shape*
+        is preserved, message totals handle amplitude separately.
+        """
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        low, width = self.domain[0], self.width
+
+        def rate(tau: np.ndarray) -> np.ndarray:
+            t = low + width * np.asarray(tau, dtype=np.float64) / interval_seconds
+            return self(t)
+
+        return rate
+
+    def __repr__(self) -> str:
+        return f"TrafficCurve({self.name!r}, domain={self.domain})"
+
+
+# ----------------------------------------------------------------------
+# the paper's curve families
+# ----------------------------------------------------------------------
+def gaussian_pdf(sigma: float, domain: tuple[float, float] = (-4.0, 4.0)) -> TrafficCurve:
+    """``N(0, sigma)`` density on ``domain`` (Table II rows 1-2)."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+
+    def fn(t: np.ndarray) -> np.ndarray:
+        return np.exp(-0.5 * (t / sigma) ** 2) / (sigma * math.sqrt(2.0 * math.pi))
+
+    return TrafficCurve(fn, domain, name=f"N(0, {sigma:g})")
+
+
+def right_tailed_normal(sigma: float, tail_sigmas: float = 4.0) -> TrafficCurve:
+    """The right tail of ``N(0, sigma)`` — the Fig. 9/10 response curves.
+
+    Models devices whose responses peak immediately after a round opens
+    and decay with timezone/network spread controlled by ``sigma``.
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+
+    def fn(t: np.ndarray) -> np.ndarray:
+        return np.exp(-0.5 * (t / sigma) ** 2) / (sigma * math.sqrt(2.0 * math.pi))
+
+    return TrafficCurve(fn, (0.0, tail_sigmas * sigma), name=f"right-tail N(0, {sigma:g})")
+
+
+def sin_plus_one(domain: tuple[float, float] = (0.0, 6.0 * math.pi)) -> TrafficCurve:
+    """``sin(t) + 1`` on ``[0, 6π]`` (Table II row 3)."""
+    return TrafficCurve(lambda t: np.sin(t) + 1.0, domain, name="sin(t)+1")
+
+
+def cos_plus_one(domain: tuple[float, float] = (0.0, 6.0 * math.pi)) -> TrafficCurve:
+    """``cos(t) + 1`` on ``[0, 6π]`` (Table II row 4)."""
+    return TrafficCurve(lambda t: np.cos(t) + 1.0, domain, name="cos(t)+1")
+
+
+def exponential_curve(base: float, domain: tuple[float, float] = (0.0, 3.0)) -> TrafficCurve:
+    """``base ** t`` on ``[0, 3]`` (Table II rows 5-6)."""
+    if base <= 0:
+        raise ValueError("base must be positive")
+    return TrafficCurve(lambda t: np.power(base, t), domain, name=f"{base:g}^t")
+
+
+def diurnal_curve(peak_hour: float = 20.0, base_level: float = 0.15) -> TrafficCurve:
+    """A 24-hour activity curve peaking in the evening.
+
+    Not from Table II, but the natural input for the paper's Fig. 10(c-d)
+    day-scale scenario (dispatch bursts at 10:00 and 18:00-22:00 local
+    time) and for timezone-mixture experiments.
+    """
+    if not 0 <= peak_hour < 24:
+        raise ValueError("peak_hour must be within [0, 24)")
+    if base_level < 0:
+        raise ValueError("base_level must be >= 0")
+
+    def fn(t: np.ndarray) -> np.ndarray:
+        phase = 2.0 * math.pi * (np.asarray(t) - peak_hour) / 24.0
+        return base_level + (1.0 + np.cos(phase)) / 2.0
+
+    return TrafficCurve(fn, (0.0, 24.0), name=f"diurnal(peak={peak_hour:g}h)")
+
+
+#: The exact rows of Table II: (curve, paper-stated domain).
+TABLE2_CURVES: tuple[TrafficCurve, ...] = (
+    gaussian_pdf(1.0, (-4.0, 4.0)),
+    gaussian_pdf(2.0, (-4.0, 4.0)),
+    sin_plus_one((0.0, 6.0 * math.pi)),
+    cos_plus_one((0.0, 6.0 * math.pi)),
+    exponential_curve(2.0, (0.0, 3.0)),
+    exponential_curve(10.0, (0.0, 3.0)),
+)

@@ -1,0 +1,60 @@
+"""Messages flowing from simulated devices through DeviceFlow to the cloud.
+
+§V-A: "edge devices ... typically upload computation results to storage
+upon task completion and transmit messages to cloud services.  Cloud
+services then retrieve the corresponding data from storage based on the
+received messages."  A message therefore carries a *reference* into shared
+storage, not the payload itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_message_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """One device-to-cloud notification.
+
+    Attributes
+    ----------
+    task_id:
+        Owning task; the Sorter routes on this.
+    device_id:
+        Producing simulated device.
+    round_index:
+        Collaboration round of the enclosed result.
+    payload_ref:
+        Key into shared object storage where the result bytes live.
+    size_bytes:
+        Size of the referenced payload (for bandwidth accounting).
+    created_at:
+        Simulated time the message entered DeviceFlow.
+    n_samples:
+        Training samples behind the result (drives sample-threshold
+        aggregation without a storage round-trip).
+    metadata:
+        Free-form extras (grade, tier, backend ...).
+    """
+
+    task_id: str
+    device_id: str
+    round_index: int
+    payload_ref: str
+    size_bytes: int = 0
+    created_at: float = 0.0
+    n_samples: int = 1
+    metadata: dict[str, Any] = field(default_factory=dict)
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ValueError("task_id must be non-empty")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        if self.n_samples <= 0:
+            raise ValueError("n_samples must be positive")

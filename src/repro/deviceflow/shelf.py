@@ -1,0 +1,54 @@
+"""Shelves: per-task FIFO buffers inside DeviceFlow."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.deviceflow.messages import Message
+
+
+class Shelf:
+    """Buffers one task's pending messages until its Dispatcher releases them.
+
+    "The Dispatcher modules associated with different Shelf modules operate
+    independently, ensuring that the dispatch processes of different tasks
+    remain isolated and do not interfere" (§V-A) — isolation falls out of
+    one shelf (and one dispatcher) per task id.
+    """
+
+    def __init__(self, task_id: str) -> None:
+        if not task_id:
+            raise ValueError("task_id must be non-empty")
+        self.task_id = task_id
+        self._messages: Deque[Message] = deque()
+        self.total_stored = 0
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def store(self, message: Message) -> None:
+        """Append a message (validated against the shelf's task)."""
+        if message.task_id != self.task_id:
+            raise ValueError(
+                f"message for task {message.task_id!r} stored on shelf {self.task_id!r}"
+            )
+        self._messages.append(message)
+        self.total_stored += 1
+
+    def take(self, count: int) -> list[Message]:
+        """Remove and return up to ``count`` oldest messages."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        taken: list[Message] = []
+        while self._messages and len(taken) < count:
+            taken.append(self._messages.popleft())
+        return taken
+
+    def take_all(self) -> list[Message]:
+        """Drain the shelf."""
+        return self.take(len(self._messages))
+
+    def peek_oldest(self) -> Optional[Message]:
+        """Oldest buffered message without removing it."""
+        return self._messages[0] if self._messages else None

@@ -1,0 +1,236 @@
+"""User-definable message dispatching strategies (§V-B).
+
+Two families exist:
+
+* **Real-time accumulated dispatching** — activated at the beginning of
+  each round; whenever the shelf accumulates the next threshold ``n`` of a
+  user-defined sequence, that many messages ship immediately.  ``n = 1``
+  degenerates to the plain real-time forwarding other simulators perform.
+  A per-message transmission-failure probability models device dropout.
+
+* **Rule-based dispatching** — activated upon round completion; messages
+  ship at specific *time points* (relative to round end, or absolute) or
+  across a *time interval* shaped by an arbitrary rate curve (see
+  :mod:`repro.deviceflow.discretize`).  Both support dropout via failure
+  probability and random discard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.deviceflow.curves import TrafficCurve
+from repro.deviceflow.discretize import DispatchTick, discretize_curve
+from repro.deviceflow.dispatcher import Dispatcher
+
+
+class DispatchStrategy:
+    """Base class; concrete strategies override the lifecycle hooks."""
+
+    def bind(self, dispatcher: Dispatcher) -> None:
+        """Called once when the dispatcher is created."""
+
+    def on_round_start(self, dispatcher: Dispatcher, round_index: int) -> None:
+        """A new round of the task's operator flow began."""
+
+    def on_message(self, dispatcher: Dispatcher) -> None:
+        """A message was shelved."""
+
+    def on_round_complete(self, dispatcher: Dispatcher, round_index: int) -> None:
+        """The round's computation finished."""
+
+
+class RealTimeAccumulatedStrategy(DispatchStrategy):
+    """Threshold-sequence dispatching with failure-probability dropout.
+
+    Parameters
+    ----------
+    thresholds:
+        Cyclic quantity sequence, e.g. ``[20, 100, 50]`` (§VI-C2); the
+        plain ``[1]`` behaves "like other simulators, immediately sending
+        messages to the cloud service after computation".
+    failure_prob:
+        Independent per-message transmission-failure probability ``p``.
+    flush_on_round_complete:
+        Ship any sub-threshold remainder when the round ends, so no
+        update is silently stranded between rounds.
+    """
+
+    def __init__(
+        self,
+        thresholds: Sequence[int] = (1,),
+        failure_prob: float = 0.0,
+        flush_on_round_complete: bool = True,
+    ) -> None:
+        thresholds = list(thresholds)
+        if not thresholds:
+            raise ValueError("thresholds must be non-empty")
+        if any(int(t) != t or t < 1 for t in thresholds):
+            raise ValueError(f"thresholds must be integers >= 1, got {thresholds}")
+        if not 0.0 <= failure_prob <= 1.0:
+            raise ValueError("failure_prob must be in [0, 1]")
+        self.thresholds = [int(t) for t in thresholds]
+        self.failure_prob = float(failure_prob)
+        self.flush_on_round_complete = flush_on_round_complete
+        self._cycle = 0
+
+    @property
+    def current_threshold(self) -> int:
+        """The next quantity to accumulate before shipping."""
+        return self.thresholds[self._cycle % len(self.thresholds)]
+
+    def on_round_start(self, dispatcher: Dispatcher, round_index: int) -> None:
+        self._cycle = 0
+
+    def on_message(self, dispatcher: Dispatcher) -> None:
+        while dispatcher.shelf_size() >= self.current_threshold:
+            batch = dispatcher.take(self.current_threshold)
+            dispatcher.dispatch(batch, failure_prob=self.failure_prob)
+            self._cycle += 1
+
+    def on_round_complete(self, dispatcher: Dispatcher, round_index: int) -> None:
+        if self.flush_on_round_complete and dispatcher.shelf_size() > 0:
+            dispatcher.dispatch(dispatcher.take_all(), failure_prob=self.failure_prob)
+
+
+@dataclass(frozen=True)
+class TimePoint:
+    """One rule-based transmission instant.
+
+    ``time`` is seconds after round completion in relative mode, or an
+    absolute simulated timestamp otherwise.  Dropout per §V-B: "the
+    probability of transmission failure can be set for each time point,
+    and a random selection of a certain number of messages can be
+    discarded at each time point."
+    """
+
+    time: float
+    count: int
+    failure_prob: float = 0.0
+    discard_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if not 0.0 <= self.failure_prob <= 1.0:
+            raise ValueError("failure_prob must be in [0, 1]")
+        if self.discard_count < 0:
+            raise ValueError("discard_count must be >= 0")
+
+
+class TimePointStrategy(DispatchStrategy):
+    """Specific time-point dispatching (rule-based, §V-B).
+
+    Parameters
+    ----------
+    points:
+        Transmission instants with quantities and dropout settings.
+    relative:
+        Whether point times are measured from the end of the round
+        (the paper supports both relative and absolute settings).
+    """
+
+    def __init__(self, points: Sequence[TimePoint], relative: bool = True) -> None:
+        points = list(points)
+        if not points:
+            raise ValueError("at least one time point is required")
+        if relative and any(p.time < 0 for p in points):
+            raise ValueError("relative time points must be >= 0")
+        self.points = sorted(points, key=lambda p: p.time)
+        self.relative = relative
+
+    def on_round_complete(self, dispatcher: Dispatcher, round_index: int) -> None:
+        base = dispatcher.now if self.relative else 0.0
+        for point in self.points:
+            fire_at = base + point.time
+
+            def fire(p: TimePoint = point) -> None:
+                available = dispatcher.shelf_size()
+                if available == 0:
+                    return
+                batch = dispatcher.take(min(p.count, available))
+                dispatcher.dispatch(batch, failure_prob=p.failure_prob, discard_count=p.discard_count)
+
+            dispatcher.schedule_at(fire_at, fire)
+
+
+class TimeIntervalStrategy(DispatchStrategy):
+    """Specific time-interval dispatching over a rate curve (§V-B).
+
+    On round completion the pending message total is matched to the area
+    under the user's curve, the curve is discretised against DeviceFlow's
+    transmission capacity, and each resulting tick becomes a time-point
+    dispatch — "these above operations transform the specific time-
+    interval dispatching mechanism into the aforementioned specific
+    time-point dispatching mechanism for execution".
+
+    Parameters
+    ----------
+    curve:
+        Validated transmission-rate function.
+    interval_seconds:
+        Actual dispatch window length the curve domain is scaled onto.
+    relative:
+        Window starts at round completion (True) or at ``start_time``.
+    start_time:
+        Absolute window start when ``relative`` is False.
+    failure_prob / discard_per_tick:
+        Dropout applied within every tick.
+    tick_width:
+        Optional manual discretisation step (otherwise derived from the
+        capacity limit).
+    """
+
+    def __init__(
+        self,
+        curve: TrafficCurve,
+        interval_seconds: float,
+        relative: bool = True,
+        start_time: Optional[float] = None,
+        failure_prob: float = 0.0,
+        discard_per_tick: int = 0,
+        tick_width: Optional[float] = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        if not relative and start_time is None:
+            raise ValueError("absolute mode requires start_time")
+        if not 0.0 <= failure_prob <= 1.0:
+            raise ValueError("failure_prob must be in [0, 1]")
+        if discard_per_tick < 0:
+            raise ValueError("discard_per_tick must be >= 0")
+        self.curve = curve
+        self.interval_seconds = float(interval_seconds)
+        self.relative = relative
+        self.start_time = start_time
+        self.failure_prob = float(failure_prob)
+        self.discard_per_tick = int(discard_per_tick)
+        self.tick_width = tick_width
+        self.last_schedule: list[DispatchTick] = []
+
+    def on_round_complete(self, dispatcher: Dispatcher, round_index: int) -> None:
+        total = dispatcher.shelf_size()
+        if total == 0:
+            return
+        ticks = discretize_curve(
+            self.curve,
+            self.interval_seconds,
+            total,
+            capacity_per_second=dispatcher.capacity_per_second,
+            tick_width=self.tick_width,
+        )
+        self.last_schedule = ticks
+        base = dispatcher.now if self.relative else float(self.start_time)  # type: ignore[arg-type]
+        for tick in ticks:
+
+            def fire(t: DispatchTick = tick) -> None:
+                available = dispatcher.shelf_size()
+                if available == 0:
+                    return
+                batch = dispatcher.take(min(t.count, available))
+                dispatcher.dispatch(
+                    batch, failure_prob=self.failure_prob, discard_count=self.discard_per_tick
+                )
+
+            dispatcher.schedule_at(base + tick.offset, fire)

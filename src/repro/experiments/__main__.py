@@ -1,0 +1,137 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures without pytest::
+
+    python -m repro.experiments list
+    python -m repro.experiments table1 table2
+    python -m repro.experiments all --scale small
+
+``--scale small`` trims device counts for a fast pass; ``--scale paper``
+uses the publication parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    format_fig10,
+    format_fig11,
+    format_table1,
+    format_table2,
+    run_fig5_device_trace,
+    run_fig6_hybrid_accuracy,
+    run_fig7_allocation_time,
+    run_fig8_scalability,
+    run_fig9_traffic_impact,
+    run_fig10_dispatch_demo,
+    run_fig11_dropout_impact,
+    run_table1_stage_metrics,
+    run_table2_curve_fidelity,
+)
+
+
+def _table1(scale: str) -> str:
+    n = {"small": 20, "medium": 60, "paper": 500}[scale]
+    return format_table1(run_table1_stage_metrics(n_devices_per_grade=n, n_benchmark_per_grade=5))
+
+
+def _fig5(scale: str) -> str:
+    return format_fig5(run_fig5_device_trace(rounds=3))
+
+
+def _fig6(scale: str) -> str:
+    scales = {
+        "small": ((4, 4), (20, 20)),
+        "medium": ((4, 4), (20, 20), (100, 100)),
+        "paper": ((4, 4), (20, 20), (100, 100), (500, 500)),
+    }[scale]
+    rounds = 10 if scale == "paper" else 5
+    return format_fig6(run_fig6_hybrid_accuracy(scales=scales, rounds=rounds, feature_dim=512))
+
+
+def _fig7(scale: str) -> str:
+    return format_fig7(run_fig7_allocation_time())
+
+
+def _fig8(scale: str) -> str:
+    return format_fig8(run_fig8_scalability())
+
+
+def _fig9(scale: str) -> str:
+    n = {"small": 60, "medium": 120, "paper": 300}[scale]
+    return format_fig9(run_fig9_traffic_impact(n_devices=n, window_s=1200.0, rounds=10))
+
+
+def _fig10(scale: str) -> str:
+    return format_fig10(run_fig10_dispatch_demo(interval_messages=10_000))
+
+
+def _fig11(scale: str) -> str:
+    n = {"small": 60, "medium": 120, "paper": 1000}[scale]
+    return format_fig11(run_fig11_dropout_impact(n_devices=n, rounds=10))
+
+
+def _table2(scale: str) -> str:
+    return format_table2(run_table2_curve_fidelity(n_messages=10_000))
+
+
+EXPERIMENTS = {
+    "table1": _table1,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "table2": _table2,
+    "fig11": _fig11,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the SimDC paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="+",
+        help=f"experiment names ({', '.join(EXPERIMENTS)}), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "medium", "paper"),
+        default="medium",
+        help="workload scale (default: medium)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.names == ["list"]:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; try 'list'")
+
+    for name in names:
+        started = time.perf_counter()
+        output = EXPERIMENTS[name](args.scale)
+        elapsed = time.perf_counter() - started
+        print(output)
+        print(f"[{name} regenerated in {elapsed:.1f}s wall time]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Fig. 7: task execution time vs scale for Types 1-5 and the optimizer.
+
+"For smaller scales, execution time on physical devices is primarily
+influenced by the APK startup time, making logical simulation relatively
+faster.  In contrast, at larger scales ... the underlying implementation
+of device simulation operators executes faster.  The red line [the
+optimizer] consistently demonstrates shorter execution time compared to
+other allocation ratios."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.fig6 import TYPE_RATIOS
+from repro.experiments.render import format_table
+from repro.scheduler.allocation import (
+    AllocationProblem,
+    GradeAllocationParams,
+    fixed_ratio_allocation,
+    solve_allocation,
+)
+
+
+def paper_problem(n_high: int, n_low: int) -> AllocationProblem:
+    """The experimental environment of §VI-A2 as an allocation instance.
+
+    High devices: 4-CPU/12-GB actors (10 concurrent slots from 40 unit
+    bundles), 17 phones (4 local + 13 MSP); Low devices: 1-CPU/6-GB
+    actors (10 slots from 60 bundles), 13 phones (6 local + 7 MSP).
+    Alphas come from the logical cost model, betas/lambdas from Table I's
+    training durations and framework startup.
+    """
+    return AllocationProblem(
+        [
+            GradeAllocationParams(
+                grade="High", n_devices=n_high, bundles=40, units_per_device=4,
+                n_phones=17, alpha=12.0, beta=16.2, lam=45.0,
+            ),
+            GradeAllocationParams(
+                grade="Low", n_devices=n_low, bundles=60, units_per_device=6,
+                n_phones=13, alpha=20.0, beta=21.6, lam=60.0,
+            ),
+        ]
+    )
+
+
+@dataclass
+class AllocationTimeResult:
+    """Execution time (s) per scale for each strategy."""
+
+    scales: list[tuple[int, int]] = field(default_factory=list)
+    times: dict[tuple[str, tuple[int, int]], float] = field(default_factory=dict)
+    optimizer_splits: dict[tuple[int, int], dict[str, int]] = field(default_factory=dict)
+
+    def strategy_times(self, name: str) -> list[float]:
+        """Time series of one strategy across scales."""
+        return [self.times[(name, scale)] for scale in self.scales]
+
+
+def run_fig7_allocation_time(
+    scales: tuple[tuple[int, int], ...] = ((4, 4), (20, 20), (100, 100), (500, 500)),
+) -> AllocationTimeResult:
+    """Evaluate Types 1-5 and the optimizer on the paper's environment."""
+    result = AllocationTimeResult(scales=list(scales))
+    for scale in scales:
+        problem = paper_problem(*scale)
+        for type_name, fraction in TYPE_RATIOS:
+            result.times[(type_name, scale)] = fixed_ratio_allocation(
+                problem, fraction
+            ).total_time
+        optimal = solve_allocation(problem)
+        result.times[("Optimization", scale)] = optimal.total_time
+        result.optimizer_splits[scale] = optimal.x
+    return result
+
+
+def format_fig7(result: AllocationTimeResult) -> str:
+    """Render execution times with the optimizer's chosen splits."""
+    strategies = [name for name, _ in TYPE_RATIOS] + ["Optimization"]
+    rows = []
+    for name in strategies:
+        rows.append([name] + [round(t, 1) for t in result.strategy_times(name)])
+    headers = ["Strategy"] + [f"({h},{l})" for h, l in result.scales]
+    table = format_table("Fig. 7: task execution time (s) vs scale", headers, rows)
+    splits = "; ".join(
+        f"({h},{l})->x={result.optimizer_splits[(h, l)]}" for h, l in result.scales
+    )
+    return table + f"\noptimizer logical splits: {splits}"

@@ -1,0 +1,87 @@
+"""Table II: fidelity of DeviceFlow dispatch to user-defined curves.
+
+"We further compared the similarity between DeviceFlow's actual dispatch
+strategy and the user-defined traffic curves for various single-value
+bounded non-negative continuous functions.  The Pearson correlation
+coefficients exceed 0.99 in all cases."
+
+Unlike the unit-level discretiser check, this experiment measures the
+*realised* dispatch log of a live DeviceFlow instance, end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deviceflow import (
+    DeviceFlow,
+    Message,
+    TABLE2_CURVES,
+    TimeIntervalStrategy,
+)
+from repro.deviceflow.discretize import DispatchTick, schedule_correlation
+from repro.experiments.render import format_table
+from repro.simkernel import RandomStreams, Simulator
+
+#: Paper: every row reports r > 0.99 (rows 1-2, 5-6 report 0.999, rows
+#: 3-4 report 0.995/0.996).
+PAPER_TABLE2 = {
+    "N(0, 1)": 0.999,
+    "N(0, 2)": 0.999,
+    "sin(t)+1": 0.995,
+    "cos(t)+1": 0.996,
+    "2^t": 0.999,
+    "10^t": 0.999,
+}
+
+
+@dataclass
+class CurveFidelityResult:
+    """Measured correlation per curve."""
+
+    rows: list[tuple[str, tuple[float, float], float]] = field(default_factory=list)
+
+    def min_correlation(self) -> float:
+        """Worst correlation across curves (paper: > 0.99)."""
+        return min(r for _, _, r in self.rows)
+
+
+def run_table2_curve_fidelity(
+    n_messages: int = 10_000,
+    interval_seconds: float = 60.0,
+    capacity: float = 700.0,
+    seed: int = 0,
+) -> CurveFidelityResult:
+    """Dispatch ``n_messages`` through every Table II curve and correlate."""
+    result = CurveFidelityResult()
+    for curve in TABLE2_CURVES:
+        sim = Simulator()
+        flow = DeviceFlow(sim, streams=RandomStreams(seed), capacity_per_second=capacity)
+        flow.register_task("t2", TimeIntervalStrategy(curve, interval_seconds), lambda m: None)
+        flow.round_started("t2", 1)
+        for i in range(n_messages):
+            flow.submit(
+                Message(task_id="t2", device_id=f"d{i}", round_index=1, payload_ref=f"p{i}")
+            )
+        flow.round_completed("t2", 1)
+        base = sim.now
+        sim.run()
+        log = flow.dispatcher_for("t2").dispatch_log
+        ticks = [DispatchTick(offset=t - base, count=n) for t, n in log]
+        correlation = schedule_correlation(curve, ticks, interval_seconds)
+        result.rows.append((curve.name, curve.domain, correlation))
+    return result
+
+
+def format_table2(result: CurveFidelityResult) -> str:
+    """Render measured vs paper correlations."""
+    rows = [
+        (name, f"[{domain[0]:g}, {domain[1]:g}]", round(corr, 4), PAPER_TABLE2.get(name, "-"))
+        for name, domain, corr in result.rows
+    ]
+    table = format_table(
+        "Table II: Pearson correlation between user curves and realised dispatch",
+        ["curve", "domain", "measured r", "paper r"],
+        rows,
+    )
+    return table + f"\nmin r = {result.min_correlation():.4f} (paper: all > 0.99)"

@@ -1,0 +1,53 @@
+"""Machine-learning substrate: logistic-regression CTR training + FedAvg.
+
+The paper's workload is click-through-rate prediction with logistic
+regression (lr 1e-3, 10 local epochs, FedAvg aggregation).  This package
+implements that workload in pure numpy, including the two *numeric
+backends* that stand in for the paper's PyMNN (server-side) and C++ MNN
+(device-side) operator implementations: identical math with different
+floating-point precision and accumulation order, producing the small
+(<0.5%) accuracy deviations the paper studies in Fig. 6.
+"""
+
+from repro.ml.backends import DEVICE_BACKEND, SERVER_BACKEND, NumericBackend
+from repro.ml.client import FLClient
+from repro.ml.fedavg import FedAvgAggregator, ModelUpdate, fedavg
+from repro.ml.metrics import accuracy, log_loss, roc_auc
+from repro.ml.model import LogisticRegressionModel
+from repro.ml.operators import (
+    DownloadModelOp,
+    EvalOp,
+    Operator,
+    OperatorContext,
+    OperatorFlow,
+    TrainOp,
+    UploadUpdateOp,
+    standard_fl_flow,
+)
+from repro.ml.optimizer import SGD
+from repro.ml.server import RoundRecord, SynchronousTrainer
+
+__all__ = [
+    "DEVICE_BACKEND",
+    "DownloadModelOp",
+    "EvalOp",
+    "FLClient",
+    "FedAvgAggregator",
+    "LogisticRegressionModel",
+    "ModelUpdate",
+    "NumericBackend",
+    "Operator",
+    "OperatorContext",
+    "OperatorFlow",
+    "RoundRecord",
+    "SERVER_BACKEND",
+    "SGD",
+    "SynchronousTrainer",
+    "TrainOp",
+    "UploadUpdateOp",
+    "accuracy",
+    "fedavg",
+    "log_loss",
+    "roc_auc",
+    "standard_fl_flow",
+]

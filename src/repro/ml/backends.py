@@ -1,0 +1,90 @@
+"""Numeric backends emulating differing operator implementations.
+
+The paper's logical simulation trains with PyMNN operators while physical
+devices run the C++ MNN operators shipped in business SDKs; "disparities in
+hardware architecture and compilation optimizations ... can lead to
+variations when executing the same operator across platforms" (§VI-B2).
+
+A backend here pins down the floating-point story of one implementation:
+
+* ``SERVER_BACKEND`` ("pymnn-server") — float64, natural accumulation
+  order: the reference semantics of a server-side framework.
+* ``DEVICE_BACKEND`` ("mnn-device") — float32 storage and arithmetic with
+  reversed reduction order: mobile inference engines trade precision for
+  speed and fuse reductions differently.
+
+Both run the same algorithm, so accuracy differences stay tiny — which is
+precisely the property Fig. 6 verifies end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NumericBackend:
+    """Floating-point semantics of one operator implementation.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (appears in task/run metadata).
+    dtype:
+        Numpy dtype used for parameters and intermediate math.
+    reverse_reduction:
+        Whether per-record feature-weight sums reduce right-to-left.
+        Changing reduction order changes rounding, not semantics — the
+        classic cross-platform divergence.
+    """
+
+    name: str
+    dtype: np.dtype
+    reverse_reduction: bool = False
+
+    def cast(self, array: np.ndarray) -> np.ndarray:
+        """Bring an array into this backend's working precision."""
+        return np.asarray(array, dtype=self.dtype)
+
+    def gather_scores(self, weights: np.ndarray, bias: float, features: np.ndarray) -> np.ndarray:
+        """Compute per-record logits ``sum_f w[features[:, f]] + bias``.
+
+        ``features`` is an ``(n, n_fields)`` int array of hash indices.
+        The reduction runs field-by-field in this backend's precision and
+        order so rounding behaviour is faithful to the implementation.
+        """
+        working = self.cast(weights)
+        gathered = working[features]  # (n, n_fields)
+        if self.reverse_reduction:
+            gathered = gathered[:, ::-1]
+        scores = np.zeros(len(features), dtype=self.dtype)
+        for column in range(gathered.shape[1]):
+            scores = (scores + gathered[:, column]).astype(self.dtype)
+        return (scores + self.dtype.type(bias)).astype(self.dtype)
+
+    def sigmoid(self, z: np.ndarray) -> np.ndarray:
+        """Numerically-stable logistic function in backend precision."""
+        z = self.cast(z)
+        out = np.empty_like(z)
+        positive = z >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+        expz = np.exp(z[~positive])
+        out[~positive] = expz / (1.0 + expz)
+        return out.astype(self.dtype)
+
+
+SERVER_BACKEND = NumericBackend(name="pymnn-server", dtype=np.dtype(np.float64))
+DEVICE_BACKEND = NumericBackend(
+    name="mnn-device", dtype=np.dtype(np.float32), reverse_reduction=True
+)
+
+_REGISTRY = {backend.name: backend for backend in (SERVER_BACKEND, DEVICE_BACKEND)}
+
+
+def backend_by_name(name: str) -> NumericBackend:
+    """Look up a registered backend; raises ``KeyError`` for unknown names."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown backend {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]

@@ -1,0 +1,92 @@
+"""Federated-learning client: local training on one device shard."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.avazu import DeviceDataset
+from repro.ml.backends import SERVER_BACKEND, NumericBackend
+from repro.ml.fedavg import ModelUpdate
+from repro.ml.model import LogisticRegressionModel
+
+
+class FLClient:
+    """Runs the paper's local-training loop for one device.
+
+    Parameters
+    ----------
+    dataset:
+        The device's local shard (never leaves the client, per FL).
+    feature_dim:
+        Model dimensionality, must match the shard's encoder.
+    backend:
+        Numeric backend — ``SERVER_BACKEND`` when this client is emulated
+        by the logical simulation, ``DEVICE_BACKEND`` when it represents a
+        physical phone.
+    epochs / learning_rate / batch_size:
+        Local-SGD recipe (paper defaults: 10 epochs, lr 1e-3).
+    rng:
+        Shuffling source; pass a seeded generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        dataset: DeviceDataset,
+        feature_dim: int,
+        backend: NumericBackend = SERVER_BACKEND,
+        epochs: int = 10,
+        learning_rate: float = 1e-3,
+        batch_size: int = 32,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.dataset = dataset
+        self.feature_dim = int(feature_dim)
+        self.backend = backend
+        self.epochs = int(epochs)
+        self.learning_rate = float(learning_rate)
+        self.batch_size = int(batch_size)
+        self.rng = rng
+
+    @property
+    def device_id(self) -> str:
+        """Identifier of the device this client runs on."""
+        return self.dataset.device_id
+
+    @property
+    def n_samples(self) -> int:
+        """Local dataset size (the FedAvg weight)."""
+        return self.dataset.n_samples
+
+    def local_train(
+        self, global_weights: np.ndarray, global_bias: float, round_index: int
+    ) -> ModelUpdate:
+        """Refine the global model on local data; return the update."""
+        model = LogisticRegressionModel(self.feature_dim, self.backend)
+        model.set_params(global_weights, global_bias)
+        model.fit_local(
+            self.dataset.features,
+            self.dataset.labels,
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            rng=self.rng,
+        )
+        weights, bias = model.get_params()
+        return ModelUpdate(
+            device_id=self.device_id,
+            round_index=round_index,
+            weights=weights,
+            bias=bias,
+            n_samples=self.n_samples,
+            metadata={"backend": self.backend.name},
+        )
+
+    def evaluate(self, weights: np.ndarray, bias: float) -> dict[str, float]:
+        """Local-shard metrics for a given global model."""
+        model = LogisticRegressionModel(self.feature_dim, self.backend)
+        model.set_params(weights, bias)
+        return model.evaluate(self.dataset.features, self.dataset.labels)

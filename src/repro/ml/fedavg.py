@@ -1,0 +1,111 @@
+"""FedAvg aggregation (McMahan et al., 2017) as used by the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+
+@dataclass
+class ModelUpdate:
+    """One device's locally-trained parameters plus aggregation weight.
+
+    Attributes
+    ----------
+    device_id:
+        Producing device.
+    round_index:
+        Collaboration round the update belongs to.
+    weights / bias:
+        Locally-trained parameters (full-model FedAvg, as in the paper).
+    n_samples:
+        Local dataset size; FedAvg weights updates proportionally.
+    metadata:
+        Free-form extras (grade, tier, timings) carried to the cloud.
+    """
+
+    device_id: str
+    round_index: int
+    weights: np.ndarray
+    bias: float
+    n_samples: int
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+
+    def payload_bytes(self) -> int:
+        """Wire size of this update (weights + bias + small envelope)."""
+        return int(self.weights.nbytes + 8 + 64)
+
+
+def fedavg(updates: Iterable[ModelUpdate]) -> tuple[np.ndarray, float]:
+    """Sample-weighted average of model updates.
+
+    Implements ``w = sum_k p_k w_k`` with ``p_k`` proportional to each
+    client's dataset size, the exact optimisation objective of §II-A.
+    """
+    updates = list(updates)
+    if not updates:
+        raise ValueError("fedavg requires at least one update")
+    dims = {update.weights.shape for update in updates}
+    if len(dims) != 1:
+        raise ValueError(f"updates disagree on weight shape: {dims}")
+    total = float(sum(update.n_samples for update in updates))
+    weights = np.zeros_like(updates[0].weights)
+    bias = 0.0
+    for update in updates:
+        proportion = update.n_samples / total
+        weights += proportion * update.weights
+        bias += proportion * update.bias
+    return weights, bias
+
+
+class FedAvgAggregator:
+    """Stateful accumulator used by the cloud aggregation service.
+
+    Updates stream in (possibly shaped by DeviceFlow); :meth:`aggregate`
+    folds everything received so far into a new global model and resets
+    the buffer for the next round.
+    """
+
+    def __init__(self) -> None:
+        self._pending: list[ModelUpdate] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending_samples(self) -> int:
+        """Total training samples represented by buffered updates."""
+        return sum(update.n_samples for update in self._pending)
+
+    @property
+    def pending_devices(self) -> list[str]:
+        """Device ids with a buffered update, in arrival order."""
+        return [update.device_id for update in self._pending]
+
+    def add(self, update: ModelUpdate) -> None:
+        """Buffer one incoming update."""
+        if not isinstance(update, ModelUpdate):
+            raise TypeError(f"expected ModelUpdate, got {type(update).__name__}")
+        self._pending.append(update)
+
+    def aggregate(self) -> tuple[np.ndarray, float, int]:
+        """Fold the buffer; returns ``(weights, bias, n_updates)``.
+
+        Raises ``ValueError`` when nothing is buffered — callers (the
+        aggregation triggers) are expected to check :meth:`__len__` first.
+        """
+        weights, bias = fedavg(self._pending)
+        count = len(self._pending)
+        self._pending.clear()
+        return weights, bias, count
+
+    def clear(self) -> None:
+        """Drop buffered updates without aggregating."""
+        self._pending.clear()

@@ -1,0 +1,209 @@
+"""Operator flows — the unit of computation SimDC tasks execute.
+
+§III-A: a task is "a singular operator flow, composed of multiple operators
+in a predetermined sequence", executed repeatedly (once per collaboration
+round) by every simulated device.  Operators carry a declared ``work``
+measure so execution tiers (logical actors, virtual phones) can convert
+flow execution into simulated time via their speed models, while the
+numeric effect of the flow runs eagerly in wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.data.avazu import DeviceDataset
+from repro.ml.backends import SERVER_BACKEND, NumericBackend
+from repro.ml.fedavg import ModelUpdate
+from repro.ml.model import LogisticRegressionModel
+
+
+@dataclass
+class OperatorContext:
+    """Mutable state threaded through one device's flow execution.
+
+    Attributes
+    ----------
+    device_id / grade:
+        Identity of the simulated device.
+    dataset:
+        The device's local shard.
+    feature_dim:
+        Model dimensionality.
+    backend:
+        Numeric backend of the executing tier.
+    global_weights / global_bias:
+        Parameters downloaded at the start of the round.
+    round_index:
+        Current collaboration round (1-based).
+    rng:
+        Seeded generator for local shuffling.
+    outputs:
+        Results produced by operators (e.g. ``outputs["update"]``).
+    """
+
+    device_id: str
+    grade: str
+    dataset: DeviceDataset
+    feature_dim: int
+    backend: NumericBackend = SERVER_BACKEND
+    global_weights: Optional[np.ndarray] = None
+    global_bias: float = 0.0
+    round_index: int = 1
+    rng: Optional[np.random.Generator] = None
+    outputs: dict[str, Any] = field(default_factory=dict)
+
+
+class Operator:
+    """Base class of user-definable operators.
+
+    Subclasses set :attr:`name`, declare :attr:`work` (abstract cost units;
+    1.0 ~ one local training epoch over an average shard) and implement
+    :meth:`apply`.
+    """
+
+    name: str = "operator"
+    work: float = 0.0
+
+    def apply(self, context: OperatorContext) -> None:
+        """Execute the operator's effect against the context."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(work={self.work})"
+
+
+class DownloadModelOp(Operator):
+    """Fetch the round's global model into the context.
+
+    The actual bytes move through storage in the platform layer; at the
+    operator level the parameters are assumed staged by the runner.
+    """
+
+    name = "download_model"
+    work = 0.1
+
+    def apply(self, context: OperatorContext) -> None:
+        if context.global_weights is None:
+            raise RuntimeError(
+                f"device {context.device_id}: global model was not staged before the flow ran"
+            )
+        context.outputs["model"] = LogisticRegressionModel(context.feature_dim, context.backend)
+        context.outputs["model"].set_params(context.global_weights, context.global_bias)
+
+
+class TrainOp(Operator):
+    """Local SGD refinement (the paper's 10-epoch, lr 1e-3 recipe)."""
+
+    name = "train"
+
+    def __init__(self, epochs: int = 10, learning_rate: float = 1e-3, batch_size: int = 32) -> None:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.epochs = int(epochs)
+        self.learning_rate = float(learning_rate)
+        self.batch_size = int(batch_size)
+        self.work = float(epochs)
+
+    def apply(self, context: OperatorContext) -> None:
+        model = context.outputs.get("model")
+        if model is None:
+            raise RuntimeError("TrainOp requires DownloadModelOp earlier in the flow")
+        model.fit_local(
+            context.dataset.features,
+            context.dataset.labels,
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            rng=context.rng,
+        )
+
+
+class EvalOp(Operator):
+    """Evaluate the current model on the local shard."""
+
+    name = "evaluate"
+    work = 0.2
+
+    def apply(self, context: OperatorContext) -> None:
+        model = context.outputs.get("model")
+        if model is None:
+            raise RuntimeError("EvalOp requires DownloadModelOp earlier in the flow")
+        context.outputs["local_metrics"] = model.evaluate(
+            context.dataset.features, context.dataset.labels
+        )
+
+
+class UploadUpdateOp(Operator):
+    """Package the trained parameters as a :class:`ModelUpdate`.
+
+    The platform layer turns ``outputs["update"]`` into a storage upload
+    plus a DeviceFlow message.
+    """
+
+    name = "upload_update"
+    work = 0.1
+
+    def apply(self, context: OperatorContext) -> None:
+        model = context.outputs.get("model")
+        if model is None:
+            raise RuntimeError("UploadUpdateOp requires a trained model in the flow")
+        weights, bias = model.get_params()
+        context.outputs["update"] = ModelUpdate(
+            device_id=context.device_id,
+            round_index=context.round_index,
+            weights=weights,
+            bias=bias,
+            n_samples=context.dataset.n_samples,
+            metadata={"grade": context.grade, "backend": context.backend.name},
+        )
+
+
+class OperatorFlow:
+    """An ordered operator sequence, executed once per round per device."""
+
+    def __init__(self, operators: Sequence[Operator]) -> None:
+        if not operators:
+            raise ValueError("an operator flow needs at least one operator")
+        for op in operators:
+            if not isinstance(op, Operator):
+                raise TypeError(f"flow items must be Operators, got {type(op).__name__}")
+        self.operators = list(operators)
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def __iter__(self):
+        return iter(self.operators)
+
+    @property
+    def total_work(self) -> float:
+        """Sum of operator work units — the tier cost models scale this."""
+        return sum(op.work for op in self.operators)
+
+    def execute(self, context: OperatorContext) -> OperatorContext:
+        """Run every operator in order against ``context``."""
+        for op in self.operators:
+            op.apply(context)
+        return context
+
+    def describe(self) -> list[str]:
+        """Operator names in order (for task specs and monitoring)."""
+        return [op.name for op in self.operators]
+
+
+def standard_fl_flow(
+    epochs: int = 10, learning_rate: float = 1e-3, batch_size: int = 32
+) -> OperatorFlow:
+    """The canonical federated-learning round: download→train→eval→upload."""
+    return OperatorFlow(
+        [
+            DownloadModelOp(),
+            TrainOp(epochs=epochs, learning_rate=learning_rate, batch_size=batch_size),
+            EvalOp(),
+            UploadUpdateOp(),
+        ]
+    )

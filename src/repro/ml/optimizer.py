@@ -1,0 +1,95 @@
+"""Mini-batch SGD for hashed-feature logistic regression."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.backends import SERVER_BACKEND, NumericBackend
+
+
+class SGD:
+    """Stochastic gradient descent over multi-hot hashed features.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size (the paper uses 1e-3).
+    l2:
+        Weight-decay coefficient applied to the weight vector (not the
+        intercept).
+    batch_size:
+        Mini-batch size; batches beyond the final full one keep the
+        remainder (no records are dropped).
+    """
+
+    def __init__(self, learning_rate: float = 1e-3, l2: float = 0.0, batch_size: int = 32) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if l2 < 0:
+            raise ValueError("l2 must be >= 0")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.learning_rate = float(learning_rate)
+        self.l2 = float(l2)
+        self.batch_size = int(batch_size)
+
+    def run_epoch(
+        self,
+        weights: np.ndarray,
+        bias: float,
+        features: np.ndarray,
+        labels: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        backend: NumericBackend = SERVER_BACKEND,
+    ) -> tuple[np.ndarray, float]:
+        """One pass over the data; returns updated ``(weights, bias)``.
+
+        The forward pass (scores, sigmoid) runs in the backend's precision
+        so that server/device implementations diverge realistically, while
+        the parameter update accumulates in float64 master weights — the
+        standard mixed-precision training recipe.
+        """
+        if len(features) != len(labels):
+            raise ValueError("features and labels must align")
+        n_records = len(labels)
+        weights = np.array(weights, dtype=np.float64, copy=True)
+        bias = float(bias)
+        if rng is None:
+            order = np.arange(n_records)
+        else:
+            order = rng.permutation(n_records)
+        for start in range(0, n_records, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            batch_features = features[batch]
+            batch_labels = labels[batch].astype(np.float64)
+            scores = backend.gather_scores(weights, bias, batch_features)
+            probabilities = backend.sigmoid(scores).astype(np.float64)
+            errors = probabilities - batch_labels  # dL/dscore
+            # Scatter-add gradients to the touched hash buckets.
+            gradient = np.zeros_like(weights)
+            np.add.at(gradient, batch_features.ravel(), np.repeat(errors, batch_features.shape[1]))
+            gradient /= len(batch)
+            if self.l2 > 0.0:
+                gradient += self.l2 * weights
+            weights -= self.learning_rate * gradient
+            bias -= self.learning_rate * float(errors.mean())
+        return weights, bias
+
+    def run_epochs(
+        self,
+        weights: np.ndarray,
+        bias: float,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int,
+        rng: Optional[np.random.Generator] = None,
+        backend: NumericBackend = SERVER_BACKEND,
+    ) -> tuple[np.ndarray, float]:
+        """Run ``epochs`` sequential epochs (the paper's local loop of 10)."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        for _ in range(epochs):
+            weights, bias = self.run_epoch(weights, bias, features, labels, rng=rng, backend=backend)
+        return weights, bias

@@ -1,0 +1,110 @@
+"""Synchronous FedAvg trainer — the ML-only reference loop.
+
+The full platform executes federated rounds through tasks, DeviceFlow and
+the cloud aggregation service.  This module provides the *benchmark local
+distributed computing environment* of Fig. 6: a plain synchronous FedAvg
+loop over clients, free of traffic shaping, against which hybrid runs are
+compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.avazu import DeviceDataset
+from repro.ml.client import FLClient
+from repro.ml.fedavg import fedavg
+from repro.ml.model import LogisticRegressionModel
+
+
+@dataclass
+class RoundRecord:
+    """Metrics captured after one aggregation round."""
+
+    round_index: int
+    n_updates: int
+    n_samples: int
+    train_loss: float
+    train_accuracy: float
+    test_loss: float
+    test_accuracy: float
+    test_auc: float
+
+
+class SynchronousTrainer:
+    """Round-synchronous FedAvg over a fixed client set.
+
+    Parameters
+    ----------
+    clients:
+        Participating :class:`~repro.ml.client.FLClient` objects.
+    test_set:
+        Held-out shard evaluated after every aggregation.
+    feature_dim:
+        Model dimensionality.
+    """
+
+    def __init__(
+        self,
+        clients: Sequence[FLClient],
+        test_set: DeviceDataset,
+        feature_dim: int,
+    ) -> None:
+        if not clients:
+            raise ValueError("at least one client is required")
+        self.clients = list(clients)
+        self.test_set = test_set
+        self.feature_dim = int(feature_dim)
+        self.model = LogisticRegressionModel(self.feature_dim)
+        self.history: list[RoundRecord] = []
+
+    def run(self, rounds: int, participation: float = 1.0, rng: Optional[np.random.Generator] = None) -> list[RoundRecord]:
+        """Run ``rounds`` rounds; returns the per-round history.
+
+        ``participation`` < 1 samples that fraction of clients uniformly
+        each round (without replacement), the standard FL client sampling.
+        """
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if not 0.0 < participation <= 1.0:
+            raise ValueError("participation must be in (0, 1]")
+        for round_index in range(1, rounds + 1):
+            participants = self._select(participation, rng)
+            weights, bias = self.model.get_params()
+            updates = [client.local_train(weights, bias, round_index) for client in participants]
+            new_weights, new_bias = fedavg(updates)
+            self.model.set_params(new_weights, new_bias)
+            self.history.append(self._record(round_index, updates, participants))
+        return self.history
+
+    def _select(self, participation: float, rng: Optional[np.random.Generator]) -> list[FLClient]:
+        if participation >= 1.0:
+            return self.clients
+        count = max(1, int(round(participation * len(self.clients))))
+        if rng is None:
+            return self.clients[:count]
+        chosen = rng.choice(len(self.clients), size=count, replace=False)
+        return [self.clients[i] for i in sorted(chosen)]
+
+    def _record(self, round_index: int, updates, participants) -> RoundRecord:
+        train_metrics = self._train_metrics(participants)
+        test_metrics = self.model.evaluate(self.test_set.features, self.test_set.labels)
+        return RoundRecord(
+            round_index=round_index,
+            n_updates=len(updates),
+            n_samples=sum(update.n_samples for update in updates),
+            train_loss=train_metrics["log_loss"],
+            train_accuracy=train_metrics["accuracy"],
+            test_loss=test_metrics["log_loss"],
+            test_accuracy=test_metrics["accuracy"],
+            test_auc=test_metrics["auc"],
+        )
+
+    def _train_metrics(self, participants: Sequence[FLClient]) -> dict[str, float]:
+        """Aggregate-model metrics over the union of participant shards."""
+        features = np.concatenate([client.dataset.features for client in participants])
+        labels = np.concatenate([client.dataset.labels for client in participants])
+        return self.model.evaluate(features, labels)

@@ -1,0 +1,90 @@
+"""Cost model of the physical device tier.
+
+Parameterises the allocation model's physical-tier constants: the per-
+device training durations ``beta`` and the compute-framework startup times
+``lambda`` (§IV-B), plus the fixed measurement windows surrounding the
+training stage in Table I and remote-control latency for MSP phones.
+
+The defaults reproduce Table I's durations: High-grade training runs 0.27
+minutes (16.2 s) and Low-grade 0.36 minutes (21.6 s), while the four non-
+training stages are measured over 0.25-minute (15 s) windows each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Table I training durations in seconds.
+DEFAULT_BETA = {"High": 16.2, "Low": 21.6}
+
+#: Compute-framework (APK + SDK) startup per phone, per task.
+DEFAULT_LAMBDA = {"High": 45.0, "Low": 60.0}
+
+
+@dataclass
+class PhysicalCostModel:
+    """Simulated-time costs of the phone tier.
+
+    Attributes
+    ----------
+    beta:
+        Per-grade duration (seconds) of one device's training round on a
+        phone (the C++ MNN operators — faster than the server's Python
+        operators at steady state, per §VI-B3).
+    framework_startup:
+        Per-grade lambda: APK install/launch + SDK warm-up paid once per
+        phone per task.
+    stage_window:
+        Fixed measurement window for the non-training Table-I stages.
+    msp_control_latency:
+        Extra per-command latency when driving remote MSP phones.
+    flow_reference_work:
+        Flow work units ``beta`` was calibrated against.
+    """
+
+    beta: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_BETA))
+    framework_startup: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_LAMBDA))
+    stage_window: float = 15.0
+    msp_control_latency: float = 0.8
+    flow_reference_work: float = 10.4
+
+    def __post_init__(self) -> None:
+        for mapping, label in ((self.beta, "beta"), (self.framework_startup, "framework_startup")):
+            if not mapping:
+                raise ValueError(f"{label} must define at least one grade")
+            for grade, value in mapping.items():
+                if value <= 0:
+                    raise ValueError(f"{label}[{grade!r}] must be positive")
+        if self.stage_window <= 0:
+            raise ValueError("stage_window must be positive")
+
+    def training_duration(self, grade: str, flow_work: float | None = None) -> float:
+        """Seconds one phone spends in the training stage per device."""
+        if grade not in self.beta:
+            raise KeyError(f"no beta calibrated for grade {grade!r}; known: {sorted(self.beta)}")
+        base = self.beta[grade]
+        if flow_work is None:
+            return base
+        if flow_work <= 0:
+            raise ValueError("flow_work must be positive")
+        return base * (flow_work / self.flow_reference_work)
+
+    def startup_duration(self, grade: str) -> float:
+        """The lambda term: one-off framework startup on a phone."""
+        if grade not in self.framework_startup:
+            raise KeyError(f"no lambda calibrated for grade {grade!r}")
+        return self.framework_startup[grade]
+
+    def waves(self, n_devices: int, n_phones: int) -> int:
+        """Sequential emulation waves: ``ceil(n_devices / n_phones)``."""
+        if n_phones <= 0:
+            raise ValueError("n_phones must be positive")
+        if n_devices < 0:
+            raise ValueError("n_devices must be >= 0")
+        return -(-n_devices // n_phones)
+
+    def tier_duration(self, grade: str, n_devices: int, n_phones: int) -> float:
+        """Closed-form makespan ``ceil(n/m) * beta + lambda`` from §IV-B."""
+        if n_devices == 0:
+            return 0.0
+        return self.waves(n_devices, n_phones) * self.training_duration(grade) + self.startup_duration(grade)

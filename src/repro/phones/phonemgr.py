@@ -1,0 +1,469 @@
+"""PhoneMgr: task execution and performance measurement on phones.
+
+§IV-C: PhoneMgr "first handles the downloading and distribution of data,
+then employs Android Debug Bridge (ADB) commands to directly control the
+execution process of phone devices".  It also distinguishes *Computing
+Devices* (repeatedly emulating simulated devices) from *Benchmarking
+Devices* (running the five-stage measured protocol of Table I), polls the
+latter "at a certain frequency, organizes [the data] in real-time, and
+uploads it to the cloud database".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.cluster.actor import DeviceAssignment, DeviceRoundOutcome
+from repro.ml.backends import DEVICE_BACKEND, NumericBackend
+from repro.ml.operators import OperatorContext, OperatorFlow
+from repro.phones.adb import SimulatedAdb
+from repro.phones.apk import ApkStage, TrainingApk
+from repro.phones.cost import PhysicalCostModel
+from repro.phones.metrics import DeviceMetricSample, StageSummary, integrate_energy_mah, parse_metric_sample, parse_pgrep_pid
+from repro.phones.phone import VirtualPhone
+from repro.simkernel import AllOf, RandomStreams, Simulator, Timeout
+
+
+@dataclass
+class PhoneAssignment:
+    """The physical tier's share of one device grade for a task.
+
+    Attributes
+    ----------
+    grade:
+        Device grade.
+    assignments:
+        Computing devices emulated on phones (``N - q - x`` of them).
+    benchmarking:
+        Devices reserved for performance measurement (``q`` of them);
+        "these devices are not reused as computation units in a single
+        round" (§VI-B1).
+    n_phones:
+        Computing phones requested (the allocation model's ``m``).
+    flow / feature_dim / backend / numeric:
+        Execution parameters, mirroring the logical tier's plan.
+    """
+
+    grade: str
+    assignments: list[DeviceAssignment]
+    benchmarking: list[DeviceAssignment]
+    n_phones: int
+    flow: OperatorFlow
+    feature_dim: int = 4096
+    backend: NumericBackend = DEVICE_BACKEND
+    numeric: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_phones < 0:
+            raise ValueError("n_phones must be >= 0")
+        if self.assignments and self.n_phones == 0:
+            raise ValueError("computing devices require at least one phone")
+
+
+@dataclass
+class BenchmarkRecord:
+    """Everything measured on one benchmarking phone in one round."""
+
+    serial: str
+    round_index: int
+    samples: list[DeviceMetricSample] = field(default_factory=list)
+    boundaries: list[tuple[ApkStage, float, float]] = field(default_factory=list)
+
+    def stage_summaries(self) -> list[StageSummary]:
+        """Table-I rows reconstructed from the sampled series."""
+        summaries = []
+        for stage, start, end in self.boundaries:
+            window = [s for s in self.samples if start - 1e-9 <= s.timestamp <= end + 1e-9]
+            energy = integrate_energy_mah(window)
+            if len(window) >= 2:
+                comm_kb = (window[-1].total_bytes - window[0].total_bytes) / 1024.0
+            else:
+                comm_kb = 0.0
+            summaries.append(
+                StageSummary(
+                    stage=int(stage),
+                    label=stage.label,
+                    power_mah=energy,
+                    duration_min=(end - start) / 60.0,
+                    comm_kb=comm_kb,
+                )
+            )
+        return summaries
+
+
+class PhoneMgr:
+    """Manages the physical devices cluster for one SimDC deployment.
+
+    Parameters
+    ----------
+    sim / adb / streams:
+        Shared simulation plumbing.
+    phones:
+        The full physical fleet (local + provisioned MSP phones).
+    cost_model:
+        beta/lambda/stage-window constants.
+    apk:
+        Training APK installed on participating phones.
+    poll_interval:
+        Benchmarking sampling period in seconds (1 Hz default).
+    on_sample:
+        Optional hook invoked per collected sample — the platform wires
+        this to the cloud metrics database upload.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        adb: SimulatedAdb,
+        phones: list[VirtualPhone],
+        cost_model: Optional[PhysicalCostModel] = None,
+        apk: Optional[TrainingApk] = None,
+        streams: Optional[RandomStreams] = None,
+        poll_interval: float = 1.0,
+        on_sample: Optional[Callable[[DeviceMetricSample], None]] = None,
+        busy_registry: Optional[set[str]] = None,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self.sim = sim
+        self.adb = adb
+        self.phones = list(phones)
+        self.cost_model = cost_model or PhysicalCostModel()
+        self.apk = apk or TrainingApk()
+        self.streams = streams or RandomStreams(0)
+        self.poll_interval = float(poll_interval)
+        self.on_sample = on_sample
+        self.plans: list[PhoneAssignment] = []
+        self.computing_phones: dict[str, list[VirtualPhone]] = {}
+        self.benchmark_phones: dict[str, list[VirtualPhone]] = {}
+        self.benchmark_records: list[BenchmarkRecord] = []
+        # Reservation registry; pass a shared set so several PhoneMgr
+        # sessions (one per concurrent task) never double-book a phone.
+        self._busy: set[str] = busy_registry if busy_registry is not None else set()
+
+    # ------------------------------------------------------------------
+    # device selection
+    # ------------------------------------------------------------------
+    def available_phones(self, grade: str) -> list[VirtualPhone]:
+        """Idle phones of a grade, local devices first (cheaper control)."""
+        free = [
+            phone
+            for phone in self.phones
+            if phone.spec.grade == grade and phone.serial not in self._busy
+        ]
+        return sorted(free, key=lambda p: (p.is_msp, p.serial))
+
+    def select_phones(self, grade: str, count: int) -> list[VirtualPhone]:
+        """Reserve ``count`` phones of ``grade`` (raises if short)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        candidates = self.available_phones(grade)
+        if len(candidates) < count:
+            raise RuntimeError(
+                f"need {count} {grade}-grade phones, only {len(candidates)} available"
+            )
+        chosen = candidates[:count]
+        for phone in chosen:
+            self._busy.add(phone.serial)
+        return chosen
+
+    def release_phones(self, phones: list[VirtualPhone]) -> None:
+        """Return phones to the pool."""
+        for phone in phones:
+            self._busy.discard(phone.serial)
+
+    # ------------------------------------------------------------------
+    # task lifecycle
+    # ------------------------------------------------------------------
+    def prepare(self, plans: list[PhoneAssignment], task_id: str = "task") -> Generator:
+        """Select phones, install the APK, start the compute framework.
+
+        Computing phones pay the framework-startup lambda here (once per
+        task); benchmarking phones stay cold — their five-stage protocol
+        starts from a cleared state every round.
+        """
+        if self.plans:
+            raise RuntimeError("PhoneMgr already has a prepared task")
+        self.plans = list(plans)
+        startups = []
+        for plan in self.plans:
+            computing = self.select_phones(plan.grade, plan.n_phones) if plan.assignments else []
+            benchmarking = self.select_phones(plan.grade, len(plan.benchmarking))
+            self.computing_phones[plan.grade] = computing
+            self.benchmark_phones[plan.grade] = benchmarking
+            for phone in computing + benchmarking:
+                self.adb.install(phone.serial, self.apk)
+            for phone in computing:
+                startups.append(
+                    self.sim.process(
+                        self._start_framework(phone, plan.grade),
+                        name=f"{task_id}.{phone.serial}.startup",
+                    )
+                )
+        if startups:
+            yield AllOf(startups)
+
+    def _start_framework(self, phone: VirtualPhone, grade: str) -> Generator:
+        yield from self._control_latency(phone)
+        self.adb.shell(phone.serial, f"pm clear {self.apk.package}")
+        self.adb.shell(phone.serial, f"am start -n {self.apk.component}")
+        yield Timeout(self.cost_model.startup_duration(grade))
+
+    def _control_latency(self, phone: VirtualPhone) -> Generator:
+        if phone.is_msp and self.cost_model.msp_control_latency > 0:
+            yield Timeout(self.cost_model.msp_control_latency)
+
+    # ------------------------------------------------------------------
+    # round execution
+    # ------------------------------------------------------------------
+    def run_round(
+        self,
+        round_index: int,
+        global_weights: Optional[np.ndarray],
+        global_bias: float,
+        model_bytes: int,
+        on_outcome: Callable[[DeviceRoundOutcome], None],
+    ) -> Generator:
+        """Execute one round on computing + benchmarking phones."""
+        processes = []
+        for plan in self.plans:
+            queues = self._partition(plan.assignments, max(1, plan.n_phones))
+            for phone, queue in zip(self.computing_phones[plan.grade], queues):
+                processes.append(
+                    self.sim.process(
+                        self._run_computing_phone(
+                            phone, queue, round_index, plan, global_weights, global_bias, model_bytes, on_outcome
+                        ),
+                        name=f"{phone.serial}.round{round_index}",
+                    )
+                )
+            for phone, assignment in zip(self.benchmark_phones[plan.grade], plan.benchmarking):
+                processes.append(
+                    self.sim.process(
+                        self._run_benchmark_phone(
+                            phone, assignment, round_index, plan, global_weights, global_bias, model_bytes, on_outcome
+                        ),
+                        name=f"{phone.serial}.bench{round_index}",
+                    )
+                )
+        if processes:
+            yield AllOf(processes)
+
+    def teardown(self) -> Generator:
+        """Stop APKs, idle every phone, release reservations."""
+        for phones in list(self.computing_phones.values()) + list(self.benchmark_phones.values()):
+            for phone in phones:
+                yield from self._control_latency(phone)
+                self.adb.shell(phone.serial, f"am force-stop {self.apk.package}")
+                phone.set_idle()
+                self.release_phones([phone])
+        self.plans = []
+        self.computing_phones.clear()
+        self.benchmark_phones.clear()
+
+    def abort(self) -> None:
+        """Synchronous emergency teardown after a task failure.
+
+        Skips control-latency niceties: force-stops any running APK,
+        idles every reserved phone and returns it to the pool so sibling
+        and queued tasks are unaffected by the crash.
+        """
+        for phones in list(self.computing_phones.values()) + list(self.benchmark_phones.values()):
+            for phone in phones:
+                if phone.running_pid is not None:
+                    self.adb.shell(phone.serial, f"am force-stop {self.apk.package}")
+                phone.set_idle()
+                self.release_phones([phone])
+        self.plans = []
+        self.computing_phones.clear()
+        self.benchmark_phones.clear()
+
+    # ------------------------------------------------------------------
+    def _run_computing_phone(
+        self,
+        phone: VirtualPhone,
+        queue: list[DeviceAssignment],
+        round_index: int,
+        plan: PhoneAssignment,
+        global_weights: Optional[np.ndarray],
+        global_bias: float,
+        model_bytes: int,
+        on_outcome: Callable[[DeviceRoundOutcome], None],
+    ) -> Generator:
+        """Sequentially emulate the queued devices on one phone."""
+        for assignment in queue:
+            data_bytes = assignment.dataset.nbytes() if assignment.dataset else 64 * assignment.n_samples
+            yield Timeout(self.adb.push_duration(phone.serial, data_bytes + model_bytes))
+            duration = self.cost_model.training_duration(plan.grade, plan.flow.total_work)
+            update = None
+            payload = model_bytes
+            if plan.numeric:
+                update = self._execute_flow(assignment, round_index, plan, global_weights, global_bias)
+                if update is not None:
+                    payload = update.payload_bytes()
+            done = phone.start_training(duration, upload_bytes=payload)
+            yield done
+            yield Timeout(payload / phone.spec.network_bandwidth_bps)
+            on_outcome(
+                DeviceRoundOutcome(
+                    device_id=assignment.device_id,
+                    grade=plan.grade,
+                    round_index=round_index,
+                    n_samples=assignment.n_samples,
+                    payload_bytes=payload,
+                    update=update,
+                    finished_at=self.sim.now,
+                )
+            )
+
+    def _run_benchmark_phone(
+        self,
+        phone: VirtualPhone,
+        assignment: DeviceAssignment,
+        round_index: int,
+        plan: PhoneAssignment,
+        global_weights: Optional[np.ndarray],
+        global_bias: float,
+        model_bytes: int,
+        on_outcome: Callable[[DeviceRoundOutcome], None],
+    ) -> Generator:
+        """The measured five-stage protocol of Table I on one phone."""
+        record = BenchmarkRecord(serial=phone.serial, round_index=round_index)
+        self.benchmark_records.append(record)
+        sampling = {"active": True}
+        window = self.cost_model.stage_window
+
+        def boundary(stage: ApkStage, start: float) -> None:
+            # Snap a synchronous sample at the transition so per-stage
+            # deltas (energy, communication) are anchored exactly at the
+            # boundary instead of at the nearest polling tick.
+            self._record_sample(phone, record)
+            record.boundaries.append((stage, start, self.sim.now))
+
+        sampler = self.sim.process(
+            self._sample_loop(phone, record, sampling), name=f"{phone.serial}.sampler"
+        )
+
+        # Stage 1: clear background, APK not running.
+        yield from self._control_latency(phone)
+        self.adb.shell(phone.serial, f"pm clear {self.apk.package}")
+        start = self.sim.now
+        yield Timeout(window)
+        boundary(ApkStage.NO_APK, start)
+
+        # Stage 2: launch the APK, do not train yet.
+        yield from self._control_latency(phone)
+        self.adb.shell(phone.serial, f"am start -n {self.apk.component}")
+        start = self.sim.now
+        yield Timeout(window)
+        boundary(ApkStage.APK_LAUNCH, start)
+
+        # Stage 3: training.
+        duration = self.cost_model.training_duration(plan.grade, plan.flow.total_work)
+        update = None
+        payload = model_bytes
+        if plan.numeric:
+            update = self._execute_flow(assignment, round_index, plan, global_weights, global_bias)
+            if update is not None:
+                payload = update.payload_bytes()
+        start = self.sim.now
+        done = phone.start_training(duration, upload_bytes=payload)
+        yield done
+        boundary(ApkStage.TRAINING, start)
+        on_outcome(
+            DeviceRoundOutcome(
+                device_id=assignment.device_id,
+                grade=plan.grade,
+                round_index=round_index,
+                n_samples=assignment.n_samples,
+                payload_bytes=payload,
+                update=update,
+                finished_at=self.sim.now,
+            )
+        )
+
+        # Stage 4: post-training, APK still in the foreground.
+        start = self.sim.now
+        yield Timeout(window)
+        boundary(ApkStage.POST_TRAINING, start)
+
+        # Stage 5: exit the APK and clear background tasks.
+        yield from self._control_latency(phone)
+        self.adb.shell(phone.serial, f"am force-stop {self.apk.package}")
+        start = self.sim.now
+        yield Timeout(window)
+        boundary(ApkStage.APK_CLOSURE, start)
+        sampling["active"] = False
+        phone.set_idle()
+        yield sampler
+
+    def _sample_loop(
+        self, phone: VirtualPhone, record: BenchmarkRecord, sampling: dict
+    ) -> Generator:
+        """Poll the five quoted ADB commands at the configured frequency."""
+        while sampling["active"]:
+            self._record_sample(phone, record)
+            yield Timeout(self.poll_interval)
+
+    def _record_sample(self, phone: VirtualPhone, record: BenchmarkRecord) -> None:
+        """Collect one sample via raw ADB commands and post-processing."""
+        package = self.apk.package
+        current_raw = self.adb.shell(phone.serial, "cat /sys/class/power_supply/battery/current_now")
+        voltage_raw = self.adb.shell(phone.serial, "cat /sys/class/power_supply/battery/voltage_now")
+        pid_raw = self.adb.shell(phone.serial, f"pgrep -f {package}")
+        pid = parse_pgrep_pid(pid_raw) or 0
+        if pid:
+            top_raw = self.adb.shell(phone.serial, f"top -b -n 1 -p {pid}")
+            dumpsys_raw = self.adb.shell(phone.serial, f"dumpsys meminfo {package} | grep PSS")
+            net_raw = self.adb.shell(phone.serial, f"cat /proc/{pid}/net/dev | grep wlan")
+        else:
+            top_raw, dumpsys_raw, net_raw = "", "", ""
+        sample = parse_metric_sample(
+            timestamp=self.sim.now,
+            serial=phone.serial,
+            current_raw=current_raw,
+            voltage_raw=voltage_raw,
+            top_raw=top_raw,
+            pid=pid,
+            dumpsys_raw=dumpsys_raw,
+            net_dev_raw=net_raw,
+        )
+        record.samples.append(sample)
+        if self.on_sample is not None:
+            self.on_sample(sample)
+
+    def _execute_flow(
+        self,
+        assignment: DeviceAssignment,
+        round_index: int,
+        plan: PhoneAssignment,
+        global_weights: Optional[np.ndarray],
+        global_bias: float,
+    ):
+        if assignment.dataset is None:
+            raise RuntimeError(
+                f"device {assignment.device_id} has no dataset but the run is numeric"
+            )
+        context = OperatorContext(
+            device_id=assignment.device_id,
+            grade=plan.grade,
+            dataset=assignment.dataset,
+            feature_dim=plan.feature_dim,
+            backend=plan.backend,
+            global_weights=global_weights,
+            global_bias=global_bias,
+            round_index=round_index,
+            rng=self.streams.get(f"phone-exec.{assignment.device_id}"),
+        )
+        plan.flow.execute(context)
+        return context.outputs.get("update")
+
+    @staticmethod
+    def _partition(assignments: list[DeviceAssignment], n_phones: int) -> list[list[DeviceAssignment]]:
+        queues: list[list[DeviceAssignment]] = [[] for _ in range(n_phones)]
+        for index, assignment in enumerate(assignments):
+            queues[index % n_phones].append(assignment)
+        return queues

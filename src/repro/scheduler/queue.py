@@ -1,0 +1,52 @@
+"""The Task Queue: priority-ordered pending tasks."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.scheduler.task import TaskSpec, TaskState
+
+
+class TaskQueue:
+    """Pending tasks ordered by priority (desc), then submission order.
+
+    The Task Manager "periodically selects suitable submitted tasks from
+    the Task Queue for scheduling" (§III-B); the queue itself only owns
+    ordering and membership, leaving fit decisions to the scheduler.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[int, int, TaskSpec]] = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def submit(self, spec: TaskSpec) -> TaskSpec:
+        """Enqueue a task; marks it QUEUED."""
+        if any(existing.task_id == spec.task_id for _, _, existing in self._entries):
+            raise ValueError(f"task {spec.task_id!r} is already queued")
+        spec.state = TaskState.QUEUED
+        self._entries.append((spec.priority, next(self._sequence), spec))
+        self._entries.sort(key=lambda e: (-e[0], e[1]))
+        return spec
+
+    def snapshot(self) -> list[TaskSpec]:
+        """Queued tasks in scheduling order (highest priority first)."""
+        return [spec for _, _, spec in self._entries]
+
+    def remove(self, task_id: str) -> TaskSpec:
+        """Take a task out of the queue (when scheduled or cancelled)."""
+        for index, (_, _, spec) in enumerate(self._entries):
+            if spec.task_id == task_id:
+                del self._entries[index]
+                return spec
+        raise KeyError(f"task {task_id!r} is not queued")
+
+    def peek(self) -> Optional[TaskSpec]:
+        """Highest-priority task without removing it."""
+        return self._entries[0][2] if self._entries else None

@@ -1,0 +1,180 @@
+"""The Resource Manager: freezing and releasing heterogeneous resources.
+
+§III-B: "This module oversees the querying, freezing, and releasing of
+heterogeneous resources, while also enabling dynamic scaling up or down.
+Resource Manager continuously monitors physical resources in real-time and
+synchronizes resource utilization information with the Task Manager."
+
+Reservations are bookkeeping at the granularity the scheduler reasons in —
+logical *unit bundles* and per-grade phone counts; physical placement
+happens later inside the execution tiers against the same capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import K8sCluster
+from repro.cluster.resources import NodeSpec, ResourceBundle
+from repro.phones.phone import VirtualPhone
+from repro.scheduler.task import TaskSpec
+
+
+@dataclass
+class ResourceSnapshot:
+    """Free capacity at a point in time (what the scheduler sees)."""
+
+    free_bundles: int
+    free_phones: dict[str, int] = field(default_factory=dict)
+
+    def copy(self) -> "ResourceSnapshot":
+        """An independent copy the scheduler can decrement speculatively."""
+        return ResourceSnapshot(self.free_bundles, dict(self.free_phones))
+
+    def fits(self, spec: TaskSpec) -> bool:
+        """Whether this snapshot covers a task's full request."""
+        if spec.total_bundles_requested > self.free_bundles:
+            return False
+        for grade, count in spec.phones_requested().items():
+            if count > self.free_phones.get(grade, 0):
+                return False
+        return True
+
+    def commit(self, spec: TaskSpec) -> None:
+        """Subtract a task's request (after :meth:`fits`)."""
+        self.free_bundles -= spec.total_bundles_requested
+        for grade, count in spec.phones_requested().items():
+            self.free_phones[grade] = self.free_phones.get(grade, 0) - count
+
+
+@dataclass
+class ResourceGrant:
+    """A frozen reservation, held for a task's lifetime."""
+
+    task_id: str
+    bundles: int
+    phones: dict[str, int]
+
+
+class ResourceManager:
+    """Tracks unit-bundle and phone capacity across concurrent tasks.
+
+    Parameters
+    ----------
+    cluster:
+        The logical tier's node pool.
+    phones:
+        The full physical fleet (local + MSP).
+    unit_bundle:
+        The indivisible logical allocation unit (paper example:
+        1 CPU + 1 GB).
+    """
+
+    def __init__(
+        self,
+        cluster: K8sCluster,
+        phones: list[VirtualPhone],
+        unit_bundle: ResourceBundle = ResourceBundle(cpus=1.0, memory_gb=1.0),
+    ) -> None:
+        self.cluster = cluster
+        self.phones = list(phones)
+        self.unit_bundle = unit_bundle
+        self._frozen_bundles = 0
+        self._frozen_phones: dict[str, int] = {}
+        self._grants: dict[str, ResourceGrant] = {}
+
+    # ------------------------------------------------------------------
+    # capacity queries
+    # ------------------------------------------------------------------
+    def total_bundles(self) -> int:
+        """Unit bundles the cluster can host in total.
+
+        Per-node capacity is the binding minimum across resource
+        dimensions (a 20-core/30-GB node hosts 20 one-CPU/one-GB units).
+        """
+        total = 0
+        for node in self.cluster.nodes.values():
+            per_dim = []
+            if self.unit_bundle.cpus > 0:
+                per_dim.append(node.spec.cpus / self.unit_bundle.cpus)
+            if self.unit_bundle.memory_gb > 0:
+                per_dim.append(node.spec.memory_gb / self.unit_bundle.memory_gb)
+            if self.unit_bundle.gpus > 0:
+                per_dim.append(node.spec.gpus / self.unit_bundle.gpus)
+            total += int(min(per_dim))
+        return total
+
+    def phones_by_grade(self) -> dict[str, int]:
+        """Total phone counts per grade."""
+        counts: dict[str, int] = {}
+        for phone in self.phones:
+            counts[phone.spec.grade] = counts.get(phone.spec.grade, 0) + 1
+        return counts
+
+    def snapshot(self) -> ResourceSnapshot:
+        """Current free capacity after existing freezes."""
+        free_phones = self.phones_by_grade()
+        for grade, frozen in self._frozen_phones.items():
+            free_phones[grade] = free_phones.get(grade, 0) - frozen
+        return ResourceSnapshot(
+            free_bundles=self.total_bundles() - self._frozen_bundles,
+            free_phones=free_phones,
+        )
+
+    # ------------------------------------------------------------------
+    # freeze / release
+    # ------------------------------------------------------------------
+    def freeze(self, spec: TaskSpec) -> ResourceGrant:
+        """Reserve a task's full request; raises if anything is short."""
+        if spec.task_id in self._grants:
+            raise RuntimeError(f"task {spec.task_id!r} already holds a grant")
+        snapshot = self.snapshot()
+        if not snapshot.fits(spec):
+            raise RuntimeError(
+                f"insufficient resources for task {spec.task_id!r}: "
+                f"need {spec.total_bundles_requested} bundles "
+                f"(free {snapshot.free_bundles}) and phones {spec.phones_requested()} "
+                f"(free {snapshot.free_phones})"
+            )
+        grant = ResourceGrant(
+            task_id=spec.task_id,
+            bundles=spec.total_bundles_requested,
+            phones=spec.phones_requested(),
+        )
+        self._frozen_bundles += grant.bundles
+        for grade, count in grant.phones.items():
+            self._frozen_phones[grade] = self._frozen_phones.get(grade, 0) + count
+        self._grants[spec.task_id] = grant
+        return grant
+
+    def release(self, task_id: str) -> None:
+        """Return a task's reservation to the pool."""
+        grant = self._grants.pop(task_id, None)
+        if grant is None:
+            raise KeyError(f"task {task_id!r} holds no grant")
+        self._frozen_bundles -= grant.bundles
+        for grade, count in grant.phones.items():
+            self._frozen_phones[grade] -= count
+
+    # ------------------------------------------------------------------
+    # dynamic scaling
+    # ------------------------------------------------------------------
+    def scale_up(self, spec: NodeSpec, count: int = 1) -> list[str]:
+        """Add cluster nodes; returns their ids."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return [self.cluster.add_node(spec) for _ in range(count)]
+
+    def scale_down(self, node_ids: list[str]) -> None:
+        """Drain idle nodes (fails on busy ones, like the cluster)."""
+        for node_id in node_ids:
+            self.cluster.remove_node(node_id)
+
+    def add_phones(self, phones: list[VirtualPhone]) -> None:
+        """Grow the physical fleet (e.g. extra MSP provisioning)."""
+        self.phones.extend(phones)
+
+    @property
+    def active_grants(self) -> int:
+        """How many tasks currently hold reservations."""
+        return len(self._grants)

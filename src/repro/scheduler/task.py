@@ -1,0 +1,152 @@
+"""Task design specifications (§III-A).
+
+"In SimDC platform, a task serves as the core operational unit ... Each
+task is assigned a unique identifier (task_id) ... Users can simulate
+multiple devices with varying performance levels within a single task, all
+of which must execute the same computational process (operator flow)
+uniformly ... A task allows simulated devices to repetitively execute the
+same operator flow multiple times ... Each task can also be configured
+with a 'scheduling priority' parameter."
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.resources import ResourceBundle
+from repro.deviceflow.strategy import DispatchStrategy
+from repro.ml.operators import OperatorFlow, standard_fl_flow
+
+_task_counter = itertools.count()
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a submitted task."""
+
+    PENDING = "PENDING"
+    QUEUED = "QUEUED"
+    SCHEDULED = "SCHEDULED"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+
+
+@dataclass
+class GradeRequirement:
+    """One device grade's simulation demand within a task.
+
+    Attributes
+    ----------
+    grade:
+        Grade label; must have calibrated cost constants.
+    n_devices:
+        Total simulated devices of this grade (the paper's N_i).
+    n_benchmark:
+        Physical benchmarking devices reserved for measurement (q_i).
+    bundles:
+        Requested logical unit bundles (f_i).
+    n_phones:
+        Requested physical computing phones (m_i).
+    device_bundle:
+        Composite resource shape of one simulated device (determines k_i
+        against the platform's unit bundle).
+    """
+
+    grade: str
+    n_devices: int
+    bundles: int = 0
+    n_phones: int = 0
+    n_benchmark: int = 0
+    device_bundle: ResourceBundle = field(
+        default_factory=lambda: ResourceBundle(cpus=1.0, memory_gb=1.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        if self.n_benchmark < 0 or self.n_benchmark > self.n_devices:
+            raise ValueError("n_benchmark must be within [0, n_devices]")
+        if self.bundles < 0 or self.n_phones < 0:
+            raise ValueError("resource requests must be >= 0")
+        if self.n_devices - self.n_benchmark > 0 and self.bundles == 0 and self.n_phones == 0:
+            raise ValueError(
+                f"grade {self.grade!r} requests devices but no compute resources"
+            )
+
+
+@dataclass
+class TaskSpec:
+    """Everything needed to run one device-cloud collaboration task.
+
+    Attributes
+    ----------
+    name:
+        Human-readable task name (task_id is derived and unique).
+    grades:
+        Per-grade simulation demands.
+    rounds:
+        How many times each device repeats the operator flow.
+    flow:
+        The uniform operator flow (defaults to the standard FL round).
+    priority:
+        Scheduling priority; higher runs earlier when resources contend.
+    deviceflow_strategy:
+        Optional traffic-shaping strategy; ``None`` sends results straight
+        to the cloud service.
+    numeric:
+        Whether flows execute real ML math (off for time-only sweeps).
+    feature_dim:
+        Model dimensionality for numeric tasks.
+    dataset_seed:
+        Seed for the task's synthetic federated dataset.
+    records_per_device:
+        Mean local shard size for generated data.
+    skew:
+        Optional label-skew config (see ``make_federated_ctr_data``).
+    """
+
+    name: str
+    grades: list[GradeRequirement]
+    rounds: int = 1
+    flow: Optional[OperatorFlow] = None
+    priority: int = 0
+    deviceflow_strategy: Optional[DispatchStrategy] = None
+    numeric: bool = True
+    feature_dim: int = 4096
+    dataset_seed: int = 0
+    records_per_device: int = 20
+    skew: Optional[dict] = None
+    task_id: str = field(default="", compare=False)
+    state: TaskState = field(default=TaskState.PENDING, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.grades:
+            raise ValueError("a task needs at least one grade requirement")
+        names = [g.grade for g in self.grades]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate grades in task: {names}")
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if self.feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        if not self.task_id:
+            self.task_id = f"task-{next(_task_counter):05d}"
+        if self.flow is None:
+            self.flow = standard_fl_flow()
+
+    @property
+    def total_devices(self) -> int:
+        """All simulated devices across grades."""
+        return sum(g.n_devices for g in self.grades)
+
+    @property
+    def total_bundles_requested(self) -> int:
+        """Logical unit bundles the task wants frozen."""
+        return sum(g.bundles for g in self.grades)
+
+    def phones_requested(self) -> dict[str, int]:
+        """Per-grade phone demand (computing + benchmarking)."""
+        return {g.grade: g.n_phones + g.n_benchmark for g in self.grades}

@@ -1,0 +1,130 @@
+"""The Task Manager: queue, scheduling loop, and task lifecycle.
+
+§III-B: "A micro-service responsible for the maintenance of Task Queue,
+task submission, and status monitoring.  Task Manager periodically selects
+suitable submitted tasks from the Task Queue for scheduling."  The manager
+also reacts immediately to submissions and completions, so idle resources
+never wait for the periodic tick.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.cloud.monitor import Monitor
+from repro.scheduler.queue import TaskQueue
+from repro.scheduler.resource_manager import ResourceManager
+from repro.scheduler.task import TaskSpec, TaskState
+from repro.scheduler.task_runner import TaskResult, TaskRunner
+from repro.scheduler.task_scheduler import GreedyTaskScheduler
+from repro.simkernel import Simulator
+
+
+class TaskManager:
+    """Coordinates queueing, greedy scheduling and concurrent execution.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    resource_manager:
+        Capacity accounting for freeze/release.
+    runner_factory:
+        ``spec -> TaskRunner``; the platform supplies a closure wiring the
+        shared substrates (the Task Runner "supports multi-threaded
+        concurrent processing" — here, concurrent simulation processes).
+    monitor:
+        Optional event log.
+    scheduling_interval:
+        Period of the background scheduling tick (seconds, simulated).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        resource_manager: ResourceManager,
+        runner_factory: Callable[[TaskSpec], TaskRunner],
+        monitor: Optional[Monitor] = None,
+        scheduling_interval: float = 5.0,
+    ) -> None:
+        if scheduling_interval <= 0:
+            raise ValueError("scheduling_interval must be positive")
+        self.sim = sim
+        self.resource_manager = resource_manager
+        self.runner_factory = runner_factory
+        self.monitor = monitor
+        self.scheduling_interval = float(scheduling_interval)
+        self.queue = TaskQueue()
+        self.scheduler = GreedyTaskScheduler()
+        self.results: dict[str, TaskResult] = {}
+        self.running: dict[str, TaskRunner] = {}
+        self._tick_scheduled = False
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: TaskSpec) -> TaskSpec:
+        """Queue a task and trigger an immediate scheduling pass."""
+        self.queue.submit(spec)
+        self._log("task_submitted", task_id=spec.task_id, priority=spec.priority)
+        self._schedule_pass()
+        self._arm_tick()
+        return spec
+
+    @property
+    def active_tasks(self) -> int:
+        """Tasks currently executing."""
+        return len(self.running)
+
+    @property
+    def all_idle(self) -> bool:
+        """True when nothing is queued or running."""
+        return not self.queue and not self.running
+
+    def result_of(self, task_id: str) -> TaskResult:
+        """Result of a finished task."""
+        if task_id not in self.results:
+            raise KeyError(f"task {task_id!r} has not finished")
+        return self.results[task_id]
+
+    # ------------------------------------------------------------------
+    def _schedule_pass(self) -> None:
+        decision = self.scheduler.plan(self.queue, self.resource_manager.snapshot())
+        for spec in decision.scheduled:
+            self.queue.remove(spec.task_id)
+            self.resource_manager.freeze(spec)
+            spec.state = TaskState.SCHEDULED
+            runner = self.runner_factory(spec)
+            self.running[spec.task_id] = runner
+            self._log("task_scheduled", task_id=spec.task_id)
+            self.sim.process(self._supervise(spec, runner), name=f"supervise.{spec.task_id}")
+
+    def _supervise(self, spec: TaskSpec, runner: TaskRunner) -> Generator:
+        try:
+            result = yield self.sim.process(runner.run(), name=f"run.{spec.task_id}")
+        except Exception:
+            result = runner.result  # populated by the runner's handler
+        finally:
+            self.resource_manager.release(spec.task_id)
+            del self.running[spec.task_id]
+        if result is not None:
+            self.results[spec.task_id] = result
+        # Freed resources may unblock queued work immediately.
+        self._schedule_pass()
+
+    def _arm_tick(self) -> None:
+        if self._tick_scheduled:
+            return
+        self._tick_scheduled = True
+        self.sim.process(self._tick_loop(), name="task-manager.tick")
+
+    def _tick_loop(self) -> Generator:
+        from repro.simkernel import Timeout
+
+        while not self.all_idle:
+            yield Timeout(self.scheduling_interval)
+            if self.queue:
+                self._schedule_pass()
+        self._tick_scheduled = False
+
+    def _log(self, kind: str, **fields) -> None:
+        if self.monitor is not None:
+            self.monitor.log(kind, **fields)

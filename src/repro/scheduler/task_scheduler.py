@@ -1,0 +1,57 @@
+"""The greedy Task Scheduler (§III-B).
+
+"Task Scheduler employs a greedy algorithm to schedule tasks from the
+queue, taking into account the current states of the resource pool from
+Resource Manager, demand resources, and the expected task benefits derived
+from the scheduling priority.  It prioritizes tasks that meet resource
+requirements while maximizing the anticipated benefits."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scheduler.queue import TaskQueue
+from repro.scheduler.resource_manager import ResourceSnapshot
+from repro.scheduler.task import TaskSpec
+
+
+@dataclass
+class SchedulingDecision:
+    """Outcome of one scheduling pass."""
+
+    scheduled: list[TaskSpec] = field(default_factory=list)
+    skipped: list[TaskSpec] = field(default_factory=list)
+
+    @property
+    def total_benefit(self) -> int:
+        """Sum of scheduled priorities (the greedy objective)."""
+        return sum(task.priority for task in self.scheduled)
+
+
+class GreedyTaskScheduler:
+    """Priority-greedy selection of queue tasks that fit the pool.
+
+    The queue is scanned in benefit order; each task that fits the
+    *remaining* speculative capacity is selected and its demand committed
+    against the working snapshot, so one pass can launch several tasks
+    side by side when resources allow (the concurrency the hybrid
+    platform is built for).
+    """
+
+    def plan(self, queue: TaskQueue, snapshot: ResourceSnapshot) -> SchedulingDecision:
+        """Decide which queued tasks to launch right now.
+
+        Does not mutate the queue or the real resource pool — the Task
+        Manager removes scheduled tasks and freezes their grants after
+        accepting the decision.
+        """
+        decision = SchedulingDecision()
+        working = snapshot.copy()
+        for spec in queue.snapshot():
+            if working.fits(spec):
+                working.commit(spec)
+                decision.scheduled.append(spec)
+            else:
+                decision.skipped.append(spec)
+        return decision

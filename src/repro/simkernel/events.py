@@ -1,0 +1,98 @@
+"""Event heap for the simulation kernel.
+
+Events are ordered by ``(time, priority, sequence)``: earlier simulated time
+first, then lower priority number, then insertion order.  The sequence
+counter makes ordering fully deterministic, which in turn makes every SimDC
+run reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time at which the callback fires.
+    priority:
+        Tie-break within one timestamp; lower fires first.  The kernel
+        reserves priority ``0`` for ordinary events; resumptions of
+        processes use the same default so ordering falls back to insertion
+        order.
+    seq:
+        Monotonic insertion index (assigned by :class:`EventQueue`).
+    callback:
+        Zero-argument callable invoked when the event fires.
+    cancelled:
+        Lazily-deleted flag; cancelled events stay in the heap but are
+        skipped when popped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it.  Idempotent."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[[], Any], priority: int = 0) -> Event:
+        """Insert a callback to fire at absolute ``time``; return its handle."""
+        event = Event(time=time, priority=priority, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (lazy deletion)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,136 @@
+"""Counting resources and item stores for processes.
+
+These primitives model contended capacity inside SimDC: free CPU bundles in
+the logical cluster, idle phones in the device cluster, and DeviceFlow's
+single-threaded dispatch capacity all reduce to a :class:`Semaphore`;
+message hand-off between producers and consumers uses a :class:`Store`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.simkernel.processes import Signal
+from repro.simkernel.simulator import Simulator
+
+
+class Semaphore:
+    """A FIFO counting semaphore over simulated time.
+
+    ``acquire(n)`` returns a :class:`Signal` the caller must ``yield``;
+    grants are strictly first-come-first-served, so a large request at the
+    head of the queue blocks smaller later ones (no starvation, matching
+    how SimDC's ResourceManager freezes resource blocks).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "semaphore") -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity!r}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: Deque[tuple[int, Signal]] = deque()
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self._available
+
+    @property
+    def queued(self) -> int:
+        """Number of acquire requests waiting."""
+        return len(self._waiters)
+
+    def acquire(self, amount: int = 1) -> Signal:
+        """Request ``amount`` units; returns a signal firing when granted."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount!r}")
+        if amount > self.capacity:
+            raise ValueError(
+                f"{self.name}: requested {amount} units but capacity is {self.capacity}"
+            )
+        grant = Signal(name=f"{self.name}.acquire({amount})")
+        self._waiters.append((amount, grant))
+        self._drain()
+        return grant
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` units to the pool and wake eligible waiters."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount!r}")
+        self._available += amount
+        if self._available > self.capacity:
+            raise RuntimeError(
+                f"{self.name}: released more than acquired "
+                f"({self._available} > capacity {self.capacity})"
+            )
+        self._drain()
+
+    def resize(self, new_capacity: int) -> None:
+        """Elastically grow or shrink total capacity.
+
+        Shrinking never revokes units already granted; it only reduces what
+        future acquires can obtain.  The pool may therefore be temporarily
+        over-committed after a shrink, which resolves as holders release.
+        """
+        if new_capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {new_capacity!r}")
+        delta = new_capacity - self.capacity
+        self.capacity = new_capacity
+        self._available += delta
+        if self._available > 0:
+            self._drain()
+
+    def _drain(self) -> None:
+        while self._waiters and self._waiters[0][0] <= self._available:
+            amount, grant = self._waiters.popleft()
+            self._available -= amount
+            grant.fire(amount)
+
+
+class Store:
+    """An unbounded FIFO hand-off buffer between processes.
+
+    ``get()`` returns a :class:`Signal` that fires with the next item;
+    items and getters are matched in FIFO order.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.fire(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Signal:
+        """Request the next item; returns a signal firing with it."""
+        signal = Signal(name=f"{self.name}.get")
+        if self._items:
+            signal.fire(self._items.popleft())
+        else:
+            self._getters.append(signal)
+        return signal
+
+    def get_nowait(self) -> Optional[Any]:
+        """Pop an item if available, else ``None`` (never blocks)."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def drain(self) -> list[Any]:
+        """Remove and return all buffered items."""
+        items = list(self._items)
+        self._items.clear()
+        return items

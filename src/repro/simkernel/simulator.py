@@ -1,0 +1,128 @@
+"""The simulation event loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.simkernel.events import Event, EventQueue
+from repro.simkernel.processes import Process, ProcessError
+
+
+class Simulator:
+    """Owns the simulated clock and drives events and processes.
+
+    All SimDC components share one ``Simulator``; simulated time only
+    advances inside :meth:`run` / :meth:`run_until` / :meth:`step`.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value (seconds by convention throughout SimDC).
+    strict:
+        When true (default), an exception escaping a process that no other
+        process is waiting on aborts the run with :class:`ProcessError`.
+        When false such failures are recorded in :attr:`orphan_failures`.
+    """
+
+    def __init__(self, start_time: float = 0.0, strict: bool = True) -> None:
+        self.now = float(start_time)
+        self.strict = strict
+        self.orphan_failures: list[tuple[Process, BaseException]] = []
+        self._queue = EventQueue()
+        self._pending_error: Optional[ProcessError] = None
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` time units."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay!r}")
+        return self._queue.push(self.now + delay, lambda: callback(*args), priority=priority)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any, priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time!r} < now {self.now!r}")
+        return self._queue.push(time, lambda: callback(*args), priority=priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self._queue.cancel(event)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator as a process on the next event-loop step."""
+        proc = Process(self, generator, name=name)
+        self.schedule(0.0, proc._start)
+        return proc
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the single earliest event.  Return False if queue empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise RuntimeError("event queue produced an event in the past")
+        self.now = event.time
+        event.callback()
+        self._raise_pending()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        Returns the clock value when the loop stops.  With ``until`` set,
+        the clock is advanced to exactly ``until`` if the queue drains (or
+        only holds later events), mirroring SimPy semantics so callers can
+        chain ``run`` segments.
+        """
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until!r} is in the past (now={self.now!r})")
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_until(self, predicate: Callable[[], bool], max_time: Optional[float] = None) -> float:
+        """Step until ``predicate()`` is true; optionally bound by time.
+
+        Raises ``TimeoutError`` if ``max_time`` is exceeded or the queue
+        drains before the predicate holds.
+        """
+        while not predicate():
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                raise TimeoutError("event queue drained before predicate became true")
+            if max_time is not None and next_time > max_time:
+                raise TimeoutError(f"predicate still false at max_time={max_time!r}")
+            self.step()
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def _report_orphan_failure(self, process: Process, error: BaseException) -> None:
+        self.orphan_failures.append((process, error))
+        if self.strict:
+            wrapped = ProcessError(f"process {process.name!r} failed with {error!r}")
+            wrapped.__cause__ = error
+            self._pending_error = wrapped
+
+    def _raise_pending(self) -> None:
+        if self._pending_error is not None:
+            error, self._pending_error = self._pending_error, None
+            raise error

@@ -1,0 +1,109 @@
+"""Tests for the FedScale/FederatedScope-like comparator models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FedScaleLikeSimulator,
+    FederatedScopeLikeSimulator,
+    SimDCRoundModel,
+)
+from repro.data import SyntheticAvazu
+from repro.ml import FLClient, LogisticRegressionModel
+
+
+class TestCostModels:
+    def test_round_time_monotone_in_scale(self):
+        for model in (FedScaleLikeSimulator(), FederatedScopeLikeSimulator(), SimDCRoundModel()):
+            times = [model.round_time(n) for n in (100, 1000, 10_000, 100_000)]
+            assert times == sorted(times)
+
+    def test_breakdown_sums_to_total(self):
+        for model in (FedScaleLikeSimulator(), FederatedScopeLikeSimulator(), SimDCRoundModel()):
+            breakdown = model.round_breakdown(5000)
+            assert breakdown.total == pytest.approx(model.round_time(5000))
+
+    def test_fedscale_has_no_communication(self):
+        breakdown = FedScaleLikeSimulator().round_breakdown(1000)
+        assert breakdown.communication == 0.0
+        assert breakdown.storage == 0.0
+        assert breakdown.memory_copies > 0.0
+
+    def test_federatedscope_pays_communication(self):
+        breakdown = FederatedScopeLikeSimulator().round_breakdown(1000)
+        assert breakdown.communication > 0.0
+
+    def test_simdc_pays_storage(self):
+        breakdown = SimDCRoundModel().round_breakdown(1000)
+        assert breakdown.storage > 0.0
+
+    def test_fig8_shape_small_scale(self):
+        """Below 1000 devices SimDC is the slowest of the three."""
+        simdc = SimDCRoundModel()
+        fedscale = FedScaleLikeSimulator()
+        fscope = FederatedScopeLikeSimulator()
+        for scale in (100, 316):
+            assert simdc.round_time(scale) > fedscale.round_time(scale)
+            assert simdc.round_time(scale) > fscope.round_time(scale)
+
+    def test_fig8_shape_large_scale(self):
+        """At >= 10k devices SimDC and FederatedScope are comparable and
+        FedScale stays fastest."""
+        simdc = SimDCRoundModel()
+        fedscale = FedScaleLikeSimulator()
+        fscope = FederatedScopeLikeSimulator()
+        for scale in (10_000, 100_000):
+            ratio = simdc.round_time(scale) / fscope.round_time(scale)
+            assert 0.5 < ratio < 1.5
+            assert fedscale.round_time(scale) < simdc.round_time(scale)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FedScaleLikeSimulator(total_cores=0)
+        with pytest.raises(ValueError):
+            FederatedScopeLikeSimulator(instance_cores=0)
+        with pytest.raises(ValueError):
+            SimDCRoundModel(device_round_s=0)
+        with pytest.raises(ValueError):
+            FedScaleLikeSimulator().round_time(0)
+
+
+class TestFunctionalEquivalence:
+    def test_baselines_match_each_other_numerically(self):
+        """Same clients + same seed: both baselines learn the same model.
+
+        Their difference is execution architecture (Fig. 8), not the
+        mathematics of the round.
+        """
+        data = SyntheticAvazu(
+            n_devices=10, records_per_device=20, feature_dim=128, seed=4
+        ).generate(test_records=400)
+        ids = data.device_ids()
+
+        def fresh_clients():
+            return [
+                FLClient(data.shard(d), 128, epochs=2, learning_rate=0.05)
+                for d in ids
+            ]
+
+        fedscale_model = LogisticRegressionModel(128)
+        FedScaleLikeSimulator().run_round(fresh_clients(), fedscale_model)
+        fscope_model = LogisticRegressionModel(128)
+        FederatedScopeLikeSimulator().run_round(fresh_clients(), fscope_model)
+        assert np.allclose(fedscale_model.weights, fscope_model.weights)
+        assert fedscale_model.bias == pytest.approx(fscope_model.bias)
+
+    def test_round_improves_model(self):
+        data = SyntheticAvazu(
+            n_devices=10, records_per_device=30, feature_dim=128, seed=4
+        ).generate(test_records=400)
+        clients = [
+            FLClient(data.shard(d), 128, epochs=3, learning_rate=0.05)
+            for d in data.device_ids()
+        ]
+        model = LogisticRegressionModel(128)
+        before = model.evaluate(data.test.features, data.test.labels)["log_loss"]
+        for round_index in range(1, 4):
+            FedScaleLikeSimulator().run_round(clients, model, round_index)
+        after = model.evaluate(data.test.features, data.test.labels)["log_loss"]
+        assert after < before

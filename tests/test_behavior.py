@@ -1,0 +1,160 @@
+"""Tests for timezone, network, availability and dropout models."""
+
+import numpy as np
+import pytest
+
+from repro.behavior import (
+    DiurnalAvailability,
+    DropoutModel,
+    FLIGHT_MODE,
+    GPRS,
+    NetworkMixture,
+    NetworkProfile,
+    TimezoneMixture,
+    WIFI,
+    population_traffic_curve,
+)
+from repro.deviceflow import TimeIntervalStrategy
+
+
+class TestTimezoneMixture:
+    def test_sample_reproducible(self):
+        a = TimezoneMixture(seed=1).sample(100)
+        b = TimezoneMixture(seed=1).sample(100)
+        assert np.array_equal(a, b)
+
+    def test_offsets_from_catalogue(self):
+        mixture = TimezoneMixture([(8, 1.0), (-5, 1.0)], seed=0)
+        draws = mixture.sample(200)
+        assert set(np.unique(draws)) <= {8, -5}
+
+    def test_local_hour_wraps(self):
+        mixture = TimezoneMixture(seed=0)
+        assert mixture.local_hour(23.0, 8) == pytest.approx(7.0)
+        assert mixture.local_hour(2.0, -6) == pytest.approx(20.0)
+
+    def test_fractions_normalised(self):
+        fractions = TimezoneMixture(seed=0).offset_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimezoneMixture([])
+        with pytest.raises(ValueError):
+            TimezoneMixture([(0, -1.0)])
+        with pytest.raises(ValueError):
+            TimezoneMixture(seed=0).sample(0)
+
+
+class TestNetworkProfiles:
+    def test_upload_duration(self):
+        assert WIFI.upload_duration(5_000_000) < GPRS.upload_duration(5_000_000)
+        assert FLIGHT_MODE.upload_duration(10) == float("inf")
+        assert not FLIGHT_MODE.connected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkProfile("bad", -1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            NetworkProfile("bad", 1.0, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            WIFI.upload_duration(-1)
+
+    def test_mixture_sampling(self):
+        mixture = NetworkMixture(seed=0)
+        profiles = mixture.sample(500)
+        names = {p.name for p in profiles}
+        assert "wifi" in names
+        assert len(profiles) == 500
+
+    def test_expected_failure_prob(self):
+        mixture = NetworkMixture([(WIFI, 0.5), (GPRS, 0.5)], seed=0)
+        expected = 0.5 * WIFI.failure_prob + 0.5 * GPRS.failure_prob
+        assert mixture.expected_failure_prob() == pytest.approx(expected)
+
+    def test_mixture_validation(self):
+        with pytest.raises(ValueError):
+            NetworkMixture([])
+        with pytest.raises(ValueError):
+            NetworkMixture([(WIFI, 0.0)])
+
+
+class TestDiurnalAvailability:
+    def test_probability_bounds(self):
+        model = DiurnalAvailability()
+        hours = np.linspace(0, 24, 97)
+        probs = model.probability(hours)
+        assert probs.min() >= 0.0
+        assert probs.max() <= 1.0
+
+    def test_night_peak_dominates(self):
+        model = DiurnalAvailability(night_peak=2.0)
+        assert model.probability(np.array([2.0]))[0] > model.probability(np.array([12.0]))[0]
+
+    def test_is_available_draw(self):
+        model = DiurnalAvailability()
+        rng = np.random.default_rng(0)
+        draws = [model.is_available(2.0, rng) for _ in range(200)]
+        assert 0.4 < np.mean(draws) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalAvailability(night_peak=24.0)
+        with pytest.raises(ValueError):
+            DiurnalAvailability(base_level=1.0)
+
+
+class TestPopulationTrafficCurve:
+    def test_curve_is_valid_and_feeds_deviceflow(self):
+        mixture = TimezoneMixture(seed=0)
+        curve = population_traffic_curve(mixture)
+        assert curve.domain == (0.0, 24.0)
+        assert curve.area() > 0
+        # The whole point: it can drive a TimeIntervalStrategy directly.
+        strategy = TimeIntervalStrategy(curve, interval_seconds=3600.0)
+        assert strategy.curve is curve
+
+    def test_timezone_mixing_flattens_curve(self):
+        """Many timezones smooth the global arrival curve (Fig. 3's point)."""
+        single = population_traffic_curve(TimezoneMixture([(8, 1.0)], seed=0))
+        spread = population_traffic_curve(TimezoneMixture(seed=0))
+        hours = np.linspace(0, 24, 200)
+        assert np.std(spread(hours)) < np.std(single(hours))
+
+
+class TestDropoutModel:
+    def test_zero_probability_keeps_all(self):
+        model = DropoutModel(0.0, seed=0)
+        assert model.survivors([f"d{i}" for i in range(50)]) == [f"d{i}" for i in range(50)]
+
+    def test_one_probability_drops_all(self):
+        model = DropoutModel(1.0, seed=0)
+        assert model.survivors(["a", "b", "c"]) == []
+
+    def test_rate_approximately_respected(self):
+        model = DropoutModel(0.7, seed=1)
+        ids = [f"d{i}" for i in range(2000)]
+        kept = model.survivors(ids)
+        assert 0.25 < len(kept) / len(ids) < 0.35
+
+    def test_stickiness_correlates_rounds(self):
+        sticky = DropoutModel(0.5, stickiness=0.8, seed=2)
+        ids = [f"d{i}" for i in range(500)]
+        first = sticky.draw_round(ids)
+        second = sticky.draw_round(ids)
+        both = sum(1 for d in ids if first[d] and second[d])
+        dropped_first = sum(1 for d in ids if first[d])
+        # With stickiness, re-drop rate among droppers exceeds base rate.
+        assert both / max(1, dropped_first) > 0.7
+
+    def test_reset_clears_history(self):
+        model = DropoutModel(0.5, stickiness=0.5, seed=3)
+        model.draw_round(["a"])
+        model.reset()
+        assert model._last_dropped == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DropoutModel(-0.1)
+        with pytest.raises(ValueError):
+            DropoutModel(0.5, stickiness=1.0)

@@ -1,0 +1,320 @@
+"""Tests for cloud storage, database, aggregation service and monitor."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    AggregationService,
+    MetricsDatabase,
+    Monitor,
+    ObjectStorage,
+    SampleThresholdTrigger,
+    ScheduledTrigger,
+)
+from repro.data import SyntheticAvazu
+from repro.deviceflow import Message
+from repro.ml import LogisticRegressionModel, ModelUpdate
+from repro.simkernel import Simulator
+
+
+class TestObjectStorage:
+    def test_put_get_round_trip(self):
+        storage = ObjectStorage()
+        storage.put("k", {"a": 1}, size_bytes=100, now=5.0, writer="w")
+        assert storage.get("k") == {"a": 1}
+        assert storage.head("k").stored_at == 5.0
+        assert "k" in storage
+        assert len(storage) == 1
+
+    def test_accounting(self):
+        storage = ObjectStorage()
+        storage.put("a", b"x", 10)
+        storage.put("b", b"y", 20)
+        storage.get("a")
+        assert storage.total_bytes_written == 30
+        assert storage.total_bytes_read == 10
+        assert storage.put_count == 2
+        assert storage.get_count == 1
+
+    def test_missing_key(self):
+        storage = ObjectStorage()
+        with pytest.raises(KeyError):
+            storage.get("ghost")
+        with pytest.raises(KeyError):
+            storage.delete("ghost")
+
+    def test_overwrite(self):
+        storage = ObjectStorage()
+        storage.put("k", 1, 8)
+        storage.put("k", 2, 8)
+        assert storage.get("k") == 2
+        assert len(storage) == 1
+
+    def test_transfer_duration(self):
+        storage = ObjectStorage(bandwidth_bps=1000, latency_s=0.5)
+        assert storage.transfer_duration(1000) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            storage.transfer_duration(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObjectStorage(bandwidth_bps=0)
+        storage = ObjectStorage()
+        with pytest.raises(ValueError):
+            storage.put("k", 1, -1)
+
+
+class TestMetricsDatabase:
+    def test_insert_and_query_equality(self):
+        db = MetricsDatabase()
+        db.insert("samples", {"serial": "a", "cpu": 5.0})
+        db.insert("samples", {"serial": "b", "cpu": 9.0})
+        assert db.count("samples") == 2
+        assert db.query("samples", serial="a")[0]["cpu"] == 5.0
+
+    def test_query_predicate(self):
+        db = MetricsDatabase()
+        db.insert_many("t", [{"x": i} for i in range(10)])
+        hot = db.query("t", where=lambda r: r["x"] > 7)
+        assert [r["x"] for r in hot] == [8, 9]
+
+    def test_records_copied_on_insert(self):
+        db = MetricsDatabase()
+        record = {"x": 1}
+        db.insert("t", record)
+        record["x"] = 99
+        assert db.query("t")[0]["x"] == 1
+
+    def test_column_extraction(self):
+        db = MetricsDatabase()
+        db.insert_many("t", [{"x": 1, "y": 2}, {"x": 3}, {"y": 4}])
+        assert db.column("t", "x") == [1, 3]
+
+    def test_tables_and_clear(self):
+        db = MetricsDatabase()
+        db.insert("a", {"v": 1})
+        db.insert("b", {"v": 1})
+        assert db.tables() == ["a", "b"]
+        db.clear("a")
+        assert db.tables() == ["b"]
+        db.clear()
+        assert db.tables() == []
+
+    def test_validation(self):
+        db = MetricsDatabase()
+        with pytest.raises(ValueError):
+            db.insert("", {"x": 1})
+        with pytest.raises(TypeError):
+            db.insert("t", [1, 2])
+
+
+def make_update(device_id, dim=64, n_samples=10, value=1.0):
+    return ModelUpdate(
+        device_id=device_id,
+        round_index=1,
+        weights=np.full(dim, value),
+        bias=value,
+        n_samples=n_samples,
+    )
+
+
+class TestSampleThresholdTrigger:
+    def test_aggregates_at_threshold(self):
+        sim = Simulator()
+        storage = ObjectStorage()
+        service = AggregationService(
+            sim, storage, SampleThresholdTrigger(25), model=LogisticRegressionModel(64)
+        )
+        service.start()
+        for i in range(5):
+            service.receive_update(make_update(f"d{i}", n_samples=10))
+        # Thresholds of 25 samples: aggregation after 3 updates (30) and
+        # the remaining 2 updates stay buffered.
+        assert service.rounds_completed == 1
+        assert service.history[0].n_updates == 3
+        assert service.pending_updates == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampleThresholdTrigger(0)
+
+
+class TestScheduledTrigger:
+    def test_periodic_aggregation(self):
+        sim = Simulator()
+        storage = ObjectStorage()
+        service = AggregationService(
+            sim, storage, ScheduledTrigger(60.0, max_rounds=3),
+            model=LogisticRegressionModel(16),
+        )
+        service.start()
+        for t, device in ((10.0, "a"), (70.0, "b"), (130.0, "c")):
+            sim.schedule(t, service.receive_update, make_update(device, dim=16))
+        sim.run()
+        assert service.rounds_completed == 3
+        assert [r.time for r in service.history] == [60.0, 120.0, 180.0]
+        assert [r.n_updates for r in service.history] == [1, 1, 1]
+
+    def test_empty_periods_skipped(self):
+        sim = Simulator()
+        service = AggregationService(
+            sim, ObjectStorage(), ScheduledTrigger(30.0, max_rounds=4),
+            model=LogisticRegressionModel(16),
+        )
+        service.start()
+        sim.schedule(100.0, service.receive_update, make_update("only", dim=16))
+        sim.run()
+        assert service.rounds_completed == 1
+
+    def test_stop_disarms(self):
+        sim = Simulator()
+        service = AggregationService(
+            sim, ObjectStorage(), ScheduledTrigger(10.0), model=LogisticRegressionModel(16)
+        )
+        service.start()
+        service.receive_update(make_update("a", dim=16))
+        service.stop()
+        sim.run()
+        assert service.rounds_completed == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScheduledTrigger(0)
+        with pytest.raises(ValueError):
+            ScheduledTrigger(10.0, max_rounds=0)
+
+
+class TestAggregationService:
+    def test_message_path_fetches_from_storage(self):
+        sim = Simulator()
+        storage = ObjectStorage()
+        update = make_update("d0", dim=32)
+        storage.put("u/d0", update, update.payload_bytes())
+        service = AggregationService(
+            sim, storage, SampleThresholdTrigger(5), model=LogisticRegressionModel(32)
+        )
+        message = Message(
+            task_id="t", device_id="d0", round_index=1, payload_ref="u/d0",
+            size_bytes=update.payload_bytes(), n_samples=update.n_samples,
+        )
+        service.receive_message(message)
+        assert service.rounds_completed == 1
+        assert service.messages_received == 1
+        assert service.bytes_received == update.payload_bytes()
+
+    def test_message_with_non_update_payload_rejected(self):
+        sim = Simulator()
+        storage = ObjectStorage()
+        storage.put("junk", {"not": "an update"}, 10)
+        service = AggregationService(
+            sim, storage, SampleThresholdTrigger(5), model=LogisticRegressionModel(32)
+        )
+        message = Message(task_id="t", device_id="d", round_index=1, payload_ref="junk")
+        with pytest.raises(TypeError):
+            service.receive_message(message)
+
+    def test_fedavg_applied_to_global_model(self):
+        sim = Simulator()
+        model = LogisticRegressionModel(8)
+        service = AggregationService(sim, ObjectStorage(), SampleThresholdTrigger(20), model=model)
+        service.receive_update(make_update("a", dim=8, n_samples=10, value=1.0))
+        service.receive_update(make_update("b", dim=8, n_samples=10, value=3.0))
+        assert np.allclose(model.weights, 2.0)
+        assert model.bias == pytest.approx(2.0)
+
+    def test_counting_mode_without_model(self):
+        sim = Simulator()
+        rounds = []
+        service = AggregationService(
+            sim, ObjectStorage(), SampleThresholdTrigger(30), model=None,
+            on_global_model=lambda r, w, b: rounds.append(r),
+        )
+        for i in range(6):
+            message = Message(task_id="t", device_id=f"d{i}", round_index=1,
+                              payload_ref="none", n_samples=10)
+            service.receive_message(message)
+        assert service.rounds_completed == 2
+        assert rounds == [1, 2]
+
+    def test_test_set_evaluation_recorded(self):
+        sim = Simulator()
+        data = SyntheticAvazu(n_devices=4, records_per_device=10, feature_dim=32, seed=0).generate(
+            test_records=200
+        )
+        service = AggregationService(
+            sim, ObjectStorage(), SampleThresholdTrigger(5),
+            model=LogisticRegressionModel(32), test_set=data.test,
+        )
+        service.receive_update(make_update("a", dim=32, value=0.0))
+        record = service.history[0]
+        assert record.test_loss is not None
+        assert 0.0 <= record.test_accuracy <= 1.0
+
+    def test_train_eval_over_contributors(self):
+        sim = Simulator()
+        data = SyntheticAvazu(n_devices=3, records_per_device=10, feature_dim=32, seed=0).generate()
+        ids = data.device_ids()
+        service = AggregationService(
+            sim, ObjectStorage(), SampleThresholdTrigger(5),
+            model=LogisticRegressionModel(32),
+            train_eval_shards={d: data.shard(d) for d in ids},
+        )
+        service.receive_update(
+            ModelUpdate(device_id=ids[0], round_index=1, weights=np.zeros(32),
+                        bias=0.0, n_samples=10)
+        )
+        record = service.history[0]
+        assert record.train_accuracy is not None
+
+    def test_aggregate_empty_rejected(self):
+        sim = Simulator()
+        service = AggregationService(
+            sim, ObjectStorage(), SampleThresholdTrigger(5), model=LogisticRegressionModel(8)
+        )
+        with pytest.raises(RuntimeError):
+            service.aggregate_now()
+
+    def test_db_row_per_aggregation(self):
+        sim = Simulator()
+        db = MetricsDatabase()
+        service = AggregationService(
+            sim, ObjectStorage(), SampleThresholdTrigger(10),
+            model=LogisticRegressionModel(8), db=db,
+        )
+        service.receive_update(make_update("a", dim=8))
+        assert db.count("aggregations") == 1
+        assert db.query("aggregations")[0]["n_updates"] == 1
+
+
+class TestMonitor:
+    def test_log_and_counters(self):
+        sim = Simulator()
+        monitor = Monitor(sim)
+        monitor.log("task_submitted", task_id="t1")
+        sim.schedule(5.0, monitor.log, "round_done")
+        sim.run()
+        assert monitor.summary() == {"task_submitted": 1, "round_done": 1}
+        assert monitor.of_kind("round_done")[0].time == 5.0
+
+    def test_last_and_between(self):
+        sim = Simulator()
+        monitor = Monitor(sim)
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda when=t: monitor.log("tick", value=when))
+        sim.run()
+        assert monitor.last("tick").fields["value"] == 3.0
+        assert monitor.last("ghost") is None
+        assert len(monitor.between(1.5, 3.0)) == 2
+
+    def test_timeline(self):
+        sim = Simulator()
+        monitor = Monitor(sim)
+        monitor.log("loss", value=0.9)
+        monitor.log("loss", value=0.7)
+        monitor.log("loss", other=1)
+        assert monitor.timeline("loss", "value") == [(0.0, 0.9), (0.0, 0.7)]
+
+    def test_empty_kind_rejected(self):
+        monitor = Monitor(Simulator())
+        with pytest.raises(ValueError):
+            monitor.log("")

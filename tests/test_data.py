@@ -1,0 +1,223 @@
+"""Unit tests for the synthetic Avazu data substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AVAZU_FIELDS,
+    DeviceDataset,
+    HashingEncoder,
+    SyntheticAvazu,
+    label_skew_device_biases,
+    make_federated_ctr_data,
+    split_by_device_column,
+)
+from repro.data.partition import assign_delay_profiles, iid_sample_counts
+
+
+class TestHashingEncoder:
+    def test_index_in_range(self):
+        encoder = HashingEncoder(dim=64, fields=["a", "b"])
+        for value in ["x", "y", "longer-value"]:
+            assert 0 <= encoder.index_of("a", value) < 64
+
+    def test_deterministic_across_instances(self):
+        one = HashingEncoder(dim=1024, fields=["f"])
+        two = HashingEncoder(dim=1024, fields=["f"])
+        assert one.index_of("f", "hello") == two.index_of("f", "hello")
+
+    def test_field_name_participates_in_hash(self):
+        encoder = HashingEncoder(dim=2**20, fields=["a", "b"])
+        assert encoder.index_of("a", "v") != encoder.index_of("b", "v")
+
+    def test_encode_record_shape_and_order(self):
+        encoder = HashingEncoder(dim=128, fields=["a", "b", "c"])
+        row = encoder.encode_record(["1", "2", "3"])
+        assert row.shape == (3,)
+        assert row[0] == encoder.index_of("a", "1")
+        assert row[2] == encoder.index_of("c", "3")
+
+    def test_encode_record_wrong_arity(self):
+        encoder = HashingEncoder(dim=128, fields=["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.encode_record(["only-one"])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HashingEncoder(dim=0, fields=["a"])
+        with pytest.raises(ValueError):
+            HashingEncoder(dim=8, fields=[])
+
+    def test_vocabulary_indices(self):
+        encoder = HashingEncoder(dim=256, fields=["a"])
+        vocab = encoder.vocabulary_indices("a", 10)
+        assert vocab.shape == (10,)
+        assert vocab[3] == encoder.index_of("a", "3")
+
+
+class TestDeviceDataset:
+    def test_basic_properties(self):
+        features = np.zeros((5, 3), dtype=np.int32)
+        labels = np.array([1, 0, 1, 1, 0], dtype=np.int8)
+        shard = DeviceDataset("dev-0", features, labels)
+        assert len(shard) == 5
+        assert shard.n_samples == 5
+        assert shard.positive_rate == pytest.approx(0.6)
+        assert shard.nbytes() > 0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceDataset("d", np.zeros((3, 2), dtype=np.int32), np.zeros(4, dtype=np.int8))
+
+    def test_one_dim_features_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceDataset("d", np.zeros(3, dtype=np.int32), np.zeros(3, dtype=np.int8))
+
+
+class TestSyntheticAvazu:
+    def test_shapes_and_determinism(self):
+        data_a = SyntheticAvazu(n_devices=10, records_per_device=15, feature_dim=512, seed=3).generate()
+        data_b = SyntheticAvazu(n_devices=10, records_per_device=15, feature_dim=512, seed=3).generate()
+        assert data_a.n_devices == 10
+        for device_id in data_a.device_ids():
+            shard_a = data_a.shard(device_id)
+            shard_b = data_b.shard(device_id)
+            assert np.array_equal(shard_a.features, shard_b.features)
+            assert np.array_equal(shard_a.labels, shard_b.labels)
+        assert data_a.shard("dev-000000").features.shape[1] == len(AVAZU_FIELDS)
+
+    def test_different_seeds_differ(self):
+        data_a = SyntheticAvazu(n_devices=5, seed=1).generate()
+        data_b = SyntheticAvazu(n_devices=5, seed=2).generate()
+        same = all(
+            np.array_equal(data_a.shard(d).labels, data_b.shard(d).labels)
+            for d in data_a.device_ids()
+        )
+        assert not same
+
+    def test_feature_indices_in_range(self):
+        data = SyntheticAvazu(n_devices=8, feature_dim=256, seed=0).generate()
+        for device_id in data.device_ids():
+            features = data.shard(device_id).features
+            assert features.min() >= 0
+            assert features.max() < 256
+
+    def test_base_ctr_roughly_respected(self):
+        data = SyntheticAvazu(
+            n_devices=200, records_per_device=50, base_ctr=0.2, device_bias_std=0.0, seed=0
+        ).generate()
+        labels = np.concatenate([data.shard(d).labels for d in data.device_ids()])
+        # Planted weights add variance; the population CTR should stay in a
+        # generous band around the intercept-implied rate.
+        assert 0.08 < labels.mean() < 0.45
+
+    def test_device_bias_shifts_ctr(self):
+        n = 60
+        biases = np.concatenate([np.full(n // 2, 3.0), np.full(n // 2, -3.0)])
+        data = SyntheticAvazu(n_devices=n, records_per_device=60, seed=0).generate(
+            device_biases=biases
+        )
+        rates = [data.shard(d).positive_rate for d in data.device_ids()]
+        high = [r for d, r in zip(data.device_ids(), rates) if data.device_biases[d] > 0]
+        low = [r for d, r in zip(data.device_ids(), rates) if data.device_biases[d] < 0]
+        assert np.mean(high) > np.mean(low) + 0.3
+
+    def test_bias_length_validated(self):
+        generator = SyntheticAvazu(n_devices=4, seed=0)
+        with pytest.raises(ValueError):
+            generator.generate(device_biases=np.zeros(3))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SyntheticAvazu(n_devices=0)
+        with pytest.raises(ValueError):
+            SyntheticAvazu(records_per_device=1)
+        with pytest.raises(ValueError):
+            SyntheticAvazu(base_ctr=1.5)
+
+    def test_subset_view(self):
+        data = SyntheticAvazu(n_devices=6, seed=0).generate()
+        ids = data.device_ids()[:2]
+        view = data.subset(ids)
+        assert view.n_devices == 2
+        assert view.test is data.test
+
+
+class TestPartitioners:
+    def test_label_skew_split_fractions(self):
+        biases = label_skew_device_biases(100, positive_fraction=0.7, spread=2.5, seed=1)
+        assert (biases > 0).sum() == 70
+        assert (biases < 0).sum() == 30
+
+    def test_label_skew_shuffled(self):
+        biases = label_skew_device_biases(50, positive_fraction=0.5, seed=1)
+        # Not simply first half positive.
+        assert not (biases[:25] > 0).all()
+
+    def test_label_skew_validation(self):
+        with pytest.raises(ValueError):
+            label_skew_device_biases(10, positive_fraction=1.2)
+        with pytest.raises(ValueError):
+            label_skew_device_biases(10, spread=-1)
+
+    def test_delay_profiles_monotone_in_ctr(self):
+        biases = {f"d{i}": float(b) for i, b in enumerate(np.linspace(3, -3, 20))}
+        delays = assign_delay_profiles(biases, sigma=1.0, max_delay=600.0, seed=0)
+        ordered = [delays[f"d{i}"] for i in range(20)]
+        assert ordered == sorted(ordered)
+        assert max(ordered) <= 600.0
+        assert min(ordered) >= 0.0
+
+    def test_delay_profiles_sigma_orders_mass(self):
+        biases = {f"d{i}": float(i) for i in range(400)}
+        tight = assign_delay_profiles(biases, sigma=1.0, max_delay=1200.0, seed=0)
+        wide = assign_delay_profiles(biases, sigma=3.0, max_delay=1200.0, seed=0)
+        # Smaller sigma concentrates arrivals earlier: its median delay is
+        # a smaller fraction of the max.
+        assert np.median(list(tight.values())) < np.median(list(wide.values()))
+
+    def test_delay_profiles_validation(self):
+        with pytest.raises(ValueError):
+            assign_delay_profiles({"a": 0.0}, sigma=0.0, max_delay=10.0)
+        with pytest.raises(ValueError):
+            assign_delay_profiles({"a": 0.0}, sigma=1.0, max_delay=0.0)
+
+    def test_split_by_device_column(self):
+        features = np.arange(12).reshape(6, 2)
+        labels = np.array([0, 1, 0, 1, 0, 1])
+        ids = ["a", "b", "a", "c", "b", "a"]
+        shards = split_by_device_column(features, labels, ids)
+        assert sorted(shards) == ["a", "b", "c"]
+        shard_features, shard_labels = shards["a"]
+        assert shard_features.shape == (3, 2)
+        assert list(shard_labels) == [0, 0, 1]
+
+    def test_split_misaligned(self):
+        with pytest.raises(ValueError):
+            split_by_device_column(np.zeros((2, 2)), np.zeros(2), ["a"])
+
+    def test_iid_sample_counts_sum(self):
+        counts = iid_sample_counts(7, 100, seed=0)
+        assert counts.sum() == 100
+        assert counts.min() >= 100 // 7
+
+    def test_iid_sample_counts_validation(self):
+        with pytest.raises(ValueError):
+            iid_sample_counts(0, 10)
+        with pytest.raises(ValueError):
+            iid_sample_counts(10, 5)
+
+
+class TestMakeFederatedCtrData:
+    def test_iid_helper(self):
+        data = make_federated_ctr_data(12, records_per_device=10, feature_dim=256, seed=5)
+        assert data.n_devices == 12
+        assert data.feature_dim == 256
+
+    def test_skew_helper_creates_bimodal_biases(self):
+        data = make_federated_ctr_data(
+            20, seed=5, skew={"positive_fraction": 0.7, "spread": 2.5}
+        )
+        biases = np.array([data.device_biases[d] for d in data.device_ids()])
+        assert (biases > 0).sum() == 14
+        assert (biases < 0).sum() == 6

@@ -1,0 +1,334 @@
+"""Tests for DeviceFlow's sorter, shelf, dispatcher and strategies."""
+
+import numpy as np
+import pytest
+
+from repro.deviceflow import (
+    DeviceFlow,
+    Message,
+    RealTimeAccumulatedStrategy,
+    Shelf,
+    Sorter,
+    TimeIntervalStrategy,
+    TimePoint,
+    TimePointStrategy,
+    right_tailed_normal,
+)
+from repro.simkernel import RandomStreams, Simulator
+
+
+def msg(task="t1", device="d0", round_index=1, n_samples=5):
+    return Message(
+        task_id=task,
+        device_id=device,
+        round_index=round_index,
+        payload_ref=f"{task}/{device}/{round_index}",
+        size_bytes=1024,
+        n_samples=n_samples,
+    )
+
+
+class TestMessage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Message(task_id="", device_id="d", round_index=1, payload_ref="x")
+        with pytest.raises(ValueError):
+            msg(n_samples=0)
+        bad = dict(task_id="t", device_id="d", round_index=1, payload_ref="x", size_bytes=-1)
+        with pytest.raises(ValueError):
+            Message(**bad)
+
+    def test_ids_unique(self):
+        assert msg().message_id != msg().message_id
+
+
+class TestShelfAndSorter:
+    def test_shelf_fifo(self):
+        shelf = Shelf("t1")
+        first, second = msg(device="a"), msg(device="b")
+        shelf.store(first)
+        shelf.store(second)
+        assert shelf.peek_oldest() is first
+        assert [m.device_id for m in shelf.take(1)] == ["a"]
+        assert [m.device_id for m in shelf.take_all()] == ["b"]
+        assert len(shelf) == 0
+        assert shelf.total_stored == 2
+
+    def test_shelf_rejects_foreign_task(self):
+        shelf = Shelf("t1")
+        with pytest.raises(ValueError):
+            shelf.store(msg(task="t2"))
+
+    def test_sorter_routes_by_task(self):
+        sorter = Sorter()
+        s1, s2 = Shelf("t1"), Shelf("t2")
+        sorter.register_shelf(s1)
+        sorter.register_shelf(s2)
+        sorter.route(msg(task="t1"))
+        sorter.route(msg(task="t2"))
+        sorter.route(msg(task="t2"))
+        assert len(s1) == 1
+        assert len(s2) == 2
+        assert sorter.total_routed == 3
+        assert sorter.task_ids == ["t1", "t2"]
+
+    def test_sorter_unknown_task(self):
+        sorter = Sorter()
+        with pytest.raises(KeyError):
+            sorter.route(msg(task="ghost"))
+
+    def test_sorter_duplicate_shelf(self):
+        sorter = Sorter()
+        sorter.register_shelf(Shelf("t1"))
+        with pytest.raises(ValueError):
+            sorter.register_shelf(Shelf("t1"))
+
+
+def build_flow(strategy, capacity=700.0, seed=0):
+    sim = Simulator()
+    flow = DeviceFlow(sim, streams=RandomStreams(seed), capacity_per_second=capacity)
+    inbox = []
+    flow.register_task("t1", strategy, downstream=lambda m: inbox.append((sim.now, m)))
+    return sim, flow, inbox
+
+
+class TestRealTimeAccumulated:
+    def test_threshold_one_is_passthrough(self):
+        sim, flow, inbox = build_flow(RealTimeAccumulatedStrategy([1]))
+        flow.round_started("t1", 1)
+        for i in range(5):
+            flow.submit(msg(device=f"d{i}"))
+        sim.run()
+        assert len(inbox) == 5
+
+    def test_threshold_sequence_cycles(self):
+        """§VI-C2: a [20, 100, 50] sequence cycles through batch sizes."""
+        sim, flow, inbox = build_flow(RealTimeAccumulatedStrategy([2, 3]), capacity=1e9)
+        flow.round_started("t1", 1)
+        dispatcher = flow.dispatcher_for("t1")
+        for i in range(10):
+            flow.submit(msg(device=f"d{i}"))
+        sim.run()
+        batch_sizes = [count for _, count in dispatcher.dispatch_log]
+        assert batch_sizes == [2, 3, 2, 3]
+
+    def test_flush_on_round_complete(self):
+        sim, flow, inbox = build_flow(RealTimeAccumulatedStrategy([10]))
+        flow.round_started("t1", 1)
+        for i in range(4):
+            flow.submit(msg(device=f"d{i}"))
+        sim.run()
+        assert len(inbox) == 0  # below threshold
+        flow.round_completed("t1", 1)
+        sim.run()
+        assert len(inbox) == 4
+
+    def test_dropout_probability(self):
+        strategy = RealTimeAccumulatedStrategy([1], failure_prob=0.5)
+        sim, flow, inbox = build_flow(strategy, seed=3)
+        flow.round_started("t1", 1)
+        for i in range(400):
+            flow.submit(msg(device=f"d{i}"))
+        sim.run()
+        stats = flow.stats("t1")
+        assert stats.dropped_failure > 120
+        assert stats.delivered == 400 - stats.dropped_failure
+        assert len(inbox) == stats.delivered
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RealTimeAccumulatedStrategy([])
+        with pytest.raises(ValueError):
+            RealTimeAccumulatedStrategy([0])
+        with pytest.raises(ValueError):
+            RealTimeAccumulatedStrategy([1], failure_prob=1.5)
+
+
+class TestRateLimiting:
+    def test_burst_spreads_over_time(self):
+        """Fig. 10(b): a point burst arrives over subsequent instants."""
+        sim, flow, inbox = build_flow(RealTimeAccumulatedStrategy([1400]), capacity=700.0)
+        flow.round_started("t1", 1)
+        for i in range(1400):
+            flow.submit(msg(device=f"d{i}"))
+        sim.run()
+        arrival_times = [t for t, _ in inbox]
+        assert len(inbox) == 1400
+        # 1400 messages at 700 msg/s -> spread over ~2 s.
+        assert max(arrival_times) - min(arrival_times) == pytest.approx(2.0, abs=0.2)
+
+    def test_dispatcher_idle_signal(self):
+        sim, flow, _ = build_flow(RealTimeAccumulatedStrategy([1]), capacity=10.0)
+        dispatcher = flow.dispatcher_for("t1")
+        flow.round_started("t1", 1)
+        flow.submit(msg())
+        assert not dispatcher.idle.fired
+        sim.run()
+        assert dispatcher.idle.fired
+
+
+class TestTimePointStrategy:
+    def test_relative_points_fire_after_round_end(self):
+        points = [TimePoint(10.0, 2), TimePoint(30.0, 2)]
+        sim, flow, inbox = build_flow(TimePointStrategy(points), capacity=1e9)
+        flow.round_started("t1", 1)
+        for i in range(4):
+            flow.submit(msg(device=f"d{i}"))
+        sim.run()
+        flow.round_completed("t1", 1)
+        end = sim.now
+        sim.run()
+        times = sorted(t for t, _ in inbox)
+        assert len(times) == 4
+        assert times[0] == pytest.approx(end + 10.0, abs=0.1)
+        assert times[-1] == pytest.approx(end + 30.0, abs=0.1)
+
+    def test_absolute_points(self):
+        points = [TimePoint(50.0, 5)]
+        sim, flow, inbox = build_flow(TimePointStrategy(points, relative=False), capacity=1e9)
+        flow.round_started("t1", 1)
+        for i in range(5):
+            flow.submit(msg(device=f"d{i}"))
+        flow.round_completed("t1", 1)
+        sim.run()
+        assert all(t == pytest.approx(50.0, abs=0.1) for t, _ in inbox)
+
+    def test_point_discard_dropout(self):
+        points = [TimePoint(1.0, 10, discard_count=4)]
+        sim, flow, inbox = build_flow(TimePointStrategy(points), seed=1)
+        flow.round_started("t1", 1)
+        for i in range(10):
+            flow.submit(msg(device=f"d{i}"))
+        flow.round_completed("t1", 1)
+        sim.run()
+        assert len(inbox) == 6
+        assert flow.stats("t1").dropped_discard == 4
+
+    def test_point_does_not_over_take(self):
+        points = [TimePoint(1.0, 100)]
+        sim, flow, inbox = build_flow(TimePointStrategy(points))
+        flow.round_started("t1", 1)
+        for i in range(3):
+            flow.submit(msg(device=f"d{i}"))
+        flow.round_completed("t1", 1)
+        sim.run()
+        assert len(inbox) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimePointStrategy([])
+        with pytest.raises(ValueError):
+            TimePointStrategy([TimePoint(-5.0, 1)])
+        with pytest.raises(ValueError):
+            TimePoint(1.0, 0)
+
+
+class TestTimeIntervalStrategy:
+    def test_dispatch_follows_curve(self):
+        """Fig. 10(c): realised sends track the right-tailed normal."""
+        curve = right_tailed_normal(1.0)
+        strategy = TimeIntervalStrategy(curve, interval_seconds=60.0)
+        sim, flow, inbox = build_flow(strategy, capacity=700.0)
+        flow.round_started("t1", 1)
+        for i in range(10_000):
+            flow.submit(msg(device=f"d{i}"))
+        flow.round_completed("t1", 1)
+        base = sim.now
+        sim.run()
+        assert len(inbox) == 10_000
+        # Early-window arrivals dominate for a right-tailed curve.
+        early = sum(1 for t, _ in inbox if t - base < 20.0)
+        assert early > 7_000
+        assert strategy.last_schedule  # schedule retained for inspection
+
+    def test_interval_dropout(self):
+        curve = right_tailed_normal(1.0)
+        strategy = TimeIntervalStrategy(curve, 30.0, failure_prob=0.3)
+        sim, flow, inbox = build_flow(strategy, seed=2)
+        flow.round_started("t1", 1)
+        for i in range(1000):
+            flow.submit(msg(device=f"d{i}"))
+        flow.round_completed("t1", 1)
+        sim.run()
+        assert 550 < len(inbox) < 850
+
+    def test_empty_round_no_dispatch(self):
+        strategy = TimeIntervalStrategy(right_tailed_normal(1.0), 30.0)
+        sim, flow, inbox = build_flow(strategy)
+        flow.round_started("t1", 1)
+        flow.round_completed("t1", 1)
+        sim.run()
+        assert inbox == []
+
+    def test_validation(self):
+        curve = right_tailed_normal(1.0)
+        with pytest.raises(ValueError):
+            TimeIntervalStrategy(curve, -1.0)
+        with pytest.raises(ValueError):
+            TimeIntervalStrategy(curve, 10.0, relative=False)  # needs start_time
+        with pytest.raises(ValueError):
+            TimeIntervalStrategy(curve, 10.0, failure_prob=2.0)
+
+
+class TestDeviceFlowFacade:
+    def test_task_isolation(self):
+        sim = Simulator()
+        flow = DeviceFlow(sim, streams=RandomStreams(0))
+        inbox1, inbox2 = [], []
+        flow.register_task("t1", RealTimeAccumulatedStrategy([1]), inbox1.append)
+        flow.register_task("t2", RealTimeAccumulatedStrategy([100]), inbox2.append)
+        flow.round_started("t1", 1)
+        flow.round_started("t2", 1)
+        flow.submit(msg(task="t1"))
+        flow.submit(msg(task="t2"))
+        sim.run()
+        assert len(inbox1) == 1
+        assert len(inbox2) == 0  # t2 still accumulating
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        flow = DeviceFlow(sim)
+        flow.register_task("t1", RealTimeAccumulatedStrategy([1]), lambda m: None)
+        with pytest.raises(ValueError):
+            flow.register_task("t1", RealTimeAccumulatedStrategy([1]), lambda m: None)
+
+    def test_unknown_task_rejected(self):
+        sim = Simulator()
+        flow = DeviceFlow(sim)
+        with pytest.raises(KeyError):
+            flow.submit(msg(task="ghost"))
+        with pytest.raises(KeyError):
+            flow.round_started("ghost", 1)
+
+    def test_unregister_requires_empty_shelf(self):
+        sim = Simulator()
+        flow = DeviceFlow(sim)
+        flow.register_task("t1", RealTimeAccumulatedStrategy([100]), lambda m: None)
+        flow.round_started("t1", 1)
+        flow.submit(msg())
+        with pytest.raises(RuntimeError):
+            flow.unregister_task("t1")
+        flow.round_completed("t1", 1)
+        sim.run()
+        flow.unregister_task("t1")
+        assert flow.task_ids == []
+
+    def test_stats_accounting_identity(self):
+        strategy = RealTimeAccumulatedStrategy([3], failure_prob=0.2)
+        sim, flow, inbox = build_flow(strategy, seed=7)
+        flow.round_started("t1", 1)
+        for i in range(30):
+            flow.submit(msg(device=f"d{i}"))
+        flow.round_completed("t1", 1)
+        sim.run()
+        stats = flow.stats("t1")
+        assert stats.received == 30
+        assert stats.shelved == 0
+        assert stats.delivered + stats.dropped == 30
+        assert len(inbox) == stats.delivered
+
+    def test_created_at_stamped(self):
+        sim, flow, _ = build_flow(RealTimeAccumulatedStrategy([10]))
+        sim.schedule(5.0, lambda: flow.submit(msg()))
+        sim.run()
+        assert flow.dispatcher_for("t1").shelf.peek_oldest().created_at == 5.0

@@ -1,0 +1,153 @@
+"""Unit + property tests for traffic curves and AUC discretisation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deviceflow import (
+    TABLE2_CURVES,
+    TrafficCurve,
+    cos_plus_one,
+    discretize_curve,
+    exponential_curve,
+    gaussian_pdf,
+    right_tailed_normal,
+    sin_plus_one,
+)
+from repro.deviceflow.curves import diurnal_curve
+from repro.deviceflow.discretize import DispatchTick, choose_tick_width, schedule_correlation
+
+
+class TestTrafficCurveValidation:
+    def test_negative_curve_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            TrafficCurve(lambda t: np.sin(t), (0.0, 2 * math.pi), name="sin")
+
+    def test_unbounded_curve_rejected(self):
+        with pytest.raises(ValueError, match="unbounded"):
+            TrafficCurve(
+                lambda t: np.where(t < 1.0, 1.0, np.inf), (0.0, 2.0), name="pole"
+            )
+
+    def test_zero_curve_rejected(self):
+        with pytest.raises(ValueError, match="identically zero"):
+            TrafficCurve(lambda t: np.zeros_like(t), (0.0, 1.0))
+
+    def test_bad_domain_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficCurve(lambda t: t + 1.0, (2.0, 1.0))
+        with pytest.raises(ValueError):
+            TrafficCurve(lambda t: t + 1.0, (0.0, math.inf))
+
+    def test_piecewise_continuous_accepted(self):
+        """§V-B: piecewise continuity is explicitly supported."""
+        curve = TrafficCurve(
+            lambda t: np.where(t < 0.5, 1.0, 3.0), (0.0, 1.0), name="step"
+        )
+        assert curve.area() == pytest.approx(2.0, rel=0.01)
+
+    def test_area_of_known_curves(self):
+        assert gaussian_pdf(1.0).area() == pytest.approx(1.0, abs=1e-3)
+        assert sin_plus_one().area() == pytest.approx(6 * math.pi, rel=1e-3)
+
+    def test_to_actual_time_rescales_domain(self):
+        curve = exponential_curve(2.0, (0.0, 3.0))
+        rate = curve.to_actual_time(60.0)
+        assert rate(np.array([0.0]))[0] == pytest.approx(1.0)
+        assert rate(np.array([60.0]))[0] == pytest.approx(8.0)
+
+    def test_table2_catalogue(self):
+        names = [curve.name for curve in TABLE2_CURVES]
+        assert names == ["N(0, 1)", "N(0, 2)", "sin(t)+1", "cos(t)+1", "2^t", "10^t"]
+
+    def test_curve_factory_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_pdf(0.0)
+        with pytest.raises(ValueError):
+            right_tailed_normal(-1.0)
+        with pytest.raises(ValueError):
+            exponential_curve(0.0)
+        with pytest.raises(ValueError):
+            diurnal_curve(peak_hour=25)
+
+
+class TestDiscretization:
+    def test_conservation_exact(self):
+        ticks = discretize_curve(gaussian_pdf(1.0), 60.0, 10_000)
+        assert sum(t.count for t in ticks) == 10_000
+
+    def test_offsets_within_window_and_sorted(self):
+        ticks = discretize_curve(sin_plus_one(), 120.0, 5_000)
+        offsets = [t.offset for t in ticks]
+        assert offsets == sorted(offsets)
+        assert offsets[0] >= 0.0
+        assert offsets[-1] < 120.0
+
+    def test_capacity_respected_per_tick(self):
+        capacity = 700.0
+        ticks = discretize_curve(gaussian_pdf(1.0), 60.0, 10_000, capacity_per_second=capacity)
+        widths = np.diff([t.offset for t in ticks])
+        max_width = widths.max() if len(widths) else 60.0
+        for tick in ticks:
+            assert tick.count <= capacity * max(max_width, 1.0) + 1
+
+    def test_peaky_curve_gets_fine_ticks(self):
+        wide = choose_tick_width(sin_plus_one(), 60.0, 1000, 700.0)
+        peaky = choose_tick_width(gaussian_pdf(0.05, (-1.0, 1.0)), 60.0, 100_000, 700.0)
+        assert peaky < wide
+
+    def test_manual_tick_width(self):
+        ticks = discretize_curve(sin_plus_one(), 60.0, 600, tick_width=1.0)
+        assert len(ticks) <= 60
+        assert sum(t.count for t in ticks) == 600
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            discretize_curve(sin_plus_one(), -1.0, 100)
+        with pytest.raises(ValueError):
+            discretize_curve(sin_plus_one(), 60.0, 0)
+        with pytest.raises(ValueError):
+            discretize_curve(sin_plus_one(), 60.0, 100, tick_width=-0.1)
+        with pytest.raises(ValueError):
+            DispatchTick(offset=-1.0, count=5)
+        with pytest.raises(ValueError):
+            DispatchTick(offset=0.0, count=-1)
+
+    def test_table2_correlations_above_99(self):
+        """Table II: Pearson r > 0.99 for every evaluated curve."""
+        for curve in TABLE2_CURVES:
+            ticks = discretize_curve(curve, 60.0, 10_000, capacity_per_second=700.0)
+            r = schedule_correlation(curve, ticks, 60.0)
+            assert r > 0.99, f"{curve.name}: r={r:.4f}"
+
+    def test_correlation_requires_two_ticks(self):
+        with pytest.raises(ValueError):
+            schedule_correlation(sin_plus_one(), [DispatchTick(0.0, 10)], 60.0)
+
+    @given(
+        total=st.integers(min_value=1, max_value=50_000),
+        interval=st.floats(min_value=1.0, max_value=3600.0),
+        sigma=st.floats(min_value=0.2, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_property(self, total, interval, sigma):
+        """Message conservation holds for any total/window/shape combo."""
+        ticks = discretize_curve(gaussian_pdf(sigma), interval, total)
+        assert sum(t.count for t in ticks) == total
+        assert all(t.count > 0 for t in ticks)
+        assert all(0.0 <= t.offset < interval for t in ticks)
+
+    @given(
+        base=st.floats(min_value=1.1, max_value=10.0),
+        total=st.integers(min_value=100, max_value=20_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_exponential_monotone_schedule(self, base, total):
+        """For a growing curve, later ticks carry (weakly) more traffic."""
+        ticks = discretize_curve(exponential_curve(base), 60.0, total, tick_width=2.0)
+        counts = [t.count for t in ticks]
+        # Allow rounding jitter of one message between adjacent ticks.
+        assert all(b >= a - 1 for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,195 @@
+"""Failure-injection tests: the platform under broken inputs and crashes.
+
+A production scheduler's contract is what happens when things go wrong:
+resources must come back, sibling tasks must be unaffected, and failures
+must surface as FAILED results rather than hangs.
+"""
+
+import pytest
+
+from repro import (
+    GradeRequirement,
+    PlatformConfig,
+    ResourceBundle,
+    SimDC,
+    TaskSpec,
+    TaskState,
+)
+from repro.cluster import NodeSpec
+from repro.ml import Operator, OperatorFlow, standard_fl_flow
+from repro.ml.operators import DownloadModelOp, TrainOp, UploadUpdateOp
+
+
+class ExplodingOperator(Operator):
+    """Deterministically crashes a chosen device's flow."""
+
+    name = "explode"
+    work = 0.1
+
+    def __init__(self, victim_device: str) -> None:
+        self.victim_device = victim_device
+
+    def apply(self, context) -> None:
+        if context.device_id == self.victim_device:
+            raise RuntimeError(f"operator crashed on {context.device_id}")
+
+
+def small_platform():
+    return SimDC(PlatformConfig(seed=0, cluster_nodes=[NodeSpec(20, 30)] * 2))
+
+
+def task_with_flow(flow, name="crashy", n_devices=4, rounds=1):
+    return TaskSpec(
+        name=name,
+        grades=[
+            GradeRequirement(
+                grade="High", n_devices=n_devices, bundles=8, n_phones=1,
+                device_bundle=ResourceBundle(cpus=2, memory_gb=2),
+            )
+        ],
+        rounds=rounds,
+        flow=flow,
+        feature_dim=64,
+        records_per_device=8,
+    )
+
+
+class TestOperatorCrash:
+    def test_crashing_task_marked_failed_and_resources_released(self):
+        platform = small_platform()
+        flow = OperatorFlow(
+            [DownloadModelOp(), ExplodingOperator("dev-000001"), TrainOp(epochs=1), UploadUpdateOp()]
+        )
+        spec = task_with_flow(flow)
+        platform.submit(spec)
+        platform.sim.strict = False  # let the supervisor absorb the crash
+        platform.run_until_idle(max_time=1e7)
+        result = platform.result(spec.task_id)
+        assert result.state is TaskState.FAILED
+        assert "operator crashed" in result.error
+        # The grant and phones must be back in the pool.
+        assert platform.resource_manager.active_grants == 0
+        assert len(platform._busy_registry) == 0
+
+    def test_sibling_task_survives_a_crash(self):
+        platform = small_platform()
+        platform.sim.strict = False
+        crashing = task_with_flow(
+            OperatorFlow([DownloadModelOp(), ExplodingOperator("dev-000000"), UploadUpdateOp()]),
+            name="crashy",
+        )
+        healthy = task_with_flow(standard_fl_flow(epochs=1), name="healthy")
+        platform.submit(crashing)
+        platform.submit(healthy)
+        platform.run_until_idle(max_time=1e7)
+        assert platform.result(crashing.task_id).state is TaskState.FAILED
+        assert platform.result(healthy.task_id).state is TaskState.COMPLETED
+
+    def test_queued_task_runs_after_predecessor_crashes(self):
+        """Freed capacity from a failed task must unblock the queue."""
+        platform = small_platform()  # 40 bundles
+        platform.sim.strict = False
+        big_crashing = TaskSpec(
+            name="big-crashy",
+            priority=5,
+            grades=[
+                GradeRequirement(
+                    grade="High", n_devices=4, bundles=30, n_phones=1,
+                    device_bundle=ResourceBundle(cpus=2, memory_gb=2),
+                )
+            ],
+            flow=OperatorFlow([DownloadModelOp(), ExplodingOperator("dev-000000")]),
+            feature_dim=64,
+            records_per_device=8,
+        )
+        queued = TaskSpec(
+            name="queued",
+            priority=1,
+            grades=[
+                GradeRequirement(
+                    grade="High", n_devices=2, bundles=30, n_phones=1,
+                    device_bundle=ResourceBundle(cpus=2, memory_gb=2),
+                )
+            ],
+            flow=standard_fl_flow(epochs=1),
+            feature_dim=64,
+            records_per_device=8,
+        )
+        platform.submit(big_crashing)
+        platform.submit(queued)
+        platform.run_until_idle(max_time=1e7)
+        assert platform.result(big_crashing.task_id).state is TaskState.FAILED
+        assert platform.result(queued.task_id).state is TaskState.COMPLETED
+
+
+class TestImpossibleRequests:
+    def test_task_larger_than_platform_never_schedules(self):
+        platform = small_platform()
+        oversized = TaskSpec(
+            name="oversized",
+            grades=[
+                GradeRequirement(
+                    grade="High", n_devices=10, bundles=4000, n_phones=0,
+                    device_bundle=ResourceBundle(cpus=1, memory_gb=1),
+                )
+            ],
+            feature_dim=64,
+        )
+        platform.submit(oversized)
+        platform.run(until=200.0)
+        # Still queued: the scheduler keeps skipping it but must not crash.
+        assert oversized.state is TaskState.QUEUED
+        assert platform.task_manager.active_tasks == 0
+
+    def test_unknown_grade_fails_cleanly(self):
+        platform = small_platform()
+        platform.sim.strict = False
+        spec = TaskSpec(
+            name="bad-grade",
+            grades=[
+                GradeRequirement(
+                    grade="Quantum", n_devices=2, bundles=4, n_phones=0,
+                    device_bundle=ResourceBundle(cpus=1, memory_gb=1),
+                )
+            ],
+            feature_dim=64,
+        )
+        platform.submit(spec)
+        platform.run_until_idle(max_time=1e7)
+        result = platform.result(spec.task_id)
+        assert result.state is TaskState.FAILED
+        assert "Quantum" in result.error
+        assert platform.resource_manager.active_grants == 0
+
+    def test_phone_shortage_blocks_at_freeze_not_midway(self):
+        platform = small_platform()  # 17 High phones exist (4 local + 13 MSP)
+        spec = TaskSpec(
+            name="phone-hungry",
+            grades=[
+                GradeRequirement(
+                    grade="High", n_devices=4, bundles=4, n_phones=18,
+                    device_bundle=ResourceBundle(cpus=1, memory_gb=1),
+                )
+            ],
+            feature_dim=64,
+        )
+        platform.submit(spec)
+        platform.run(until=100.0)
+        assert spec.state is TaskState.QUEUED  # never started, nothing leaked
+        assert platform.resource_manager.active_grants == 0
+
+
+class TestDeterminismUnderFailure:
+    def test_failed_runs_reproducible(self):
+        def run_once():
+            platform = small_platform()
+            platform.sim.strict = False
+            spec = task_with_flow(
+                OperatorFlow([DownloadModelOp(), ExplodingOperator("dev-000002")]),
+            )
+            platform.submit(spec)
+            platform.run_until_idle(max_time=1e7)
+            result = platform.result(spec.task_id)
+            return (result.state, result.finished_at, result.error)
+
+        assert run_once() == run_once()

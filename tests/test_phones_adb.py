@@ -1,0 +1,203 @@
+"""Unit tests for the simulated ADB and raw-output post-processing."""
+
+import pytest
+
+from repro.phones import AdbError, SimulatedAdb, TrainingApk, VirtualPhone
+from repro.phones.metrics import (
+    integrate_energy_mah,
+    DeviceMetricSample,
+    parse_current_ua,
+    parse_metric_sample,
+    parse_net_dev,
+    parse_pgrep_pid,
+    parse_pss_kb,
+    parse_top_cpu,
+    parse_voltage_mv,
+)
+from repro.phones.specs import DEFAULT_LOCAL_FLEET
+from repro.simkernel import RandomStreams, Simulator
+
+
+@pytest.fixture()
+def rig():
+    sim = Simulator()
+    adb = SimulatedAdb()
+    phone = VirtualPhone(sim, "serial-1", DEFAULT_LOCAL_FLEET[0], streams=RandomStreams(1))
+    adb.register(phone)
+    apk = TrainingApk()
+    adb.install("serial-1", apk)
+    return sim, adb, phone, apk
+
+
+class TestFleetManagement:
+    def test_register_and_devices_listing(self, rig):
+        _, adb, _, _ = rig
+        listing = adb.devices()
+        assert "List of devices attached" in listing
+        assert "serial-1\tdevice" in listing
+
+    def test_duplicate_serial_rejected(self, rig):
+        sim, adb, phone, _ = rig
+        with pytest.raises(AdbError):
+            adb.register(phone)
+
+    def test_unknown_serial(self, rig):
+        _, adb, _, _ = rig
+        with pytest.raises(AdbError):
+            adb.shell("nope", "cat /sys/class/power_supply/battery/current_now")
+        with pytest.raises(AdbError):
+            adb.unregister("nope")
+
+    def test_push_duration_scales(self, rig):
+        _, adb, phone, _ = rig
+        assert adb.push_duration("serial-1", 0) == 0.0
+        one_mb = adb.push_duration("serial-1", 10**6)
+        assert one_mb == pytest.approx(10**6 / phone.spec.network_bandwidth_bps)
+        with pytest.raises(AdbError):
+            adb.push_duration("serial-1", -1)
+
+
+class TestPaperCommandSet:
+    """Each command quoted in §IV-C round-trips through parse helpers."""
+
+    def test_current_now(self, rig):
+        _, adb, phone, _ = rig
+        raw = adb.shell("serial-1", "cat /sys/class/power_supply/battery/current_now")
+        value = parse_current_ua(raw)
+        assert value > 0  # magnitude of the negative sysfs reading
+        assert raw.strip().startswith("-")
+
+    def test_voltage_now(self, rig):
+        _, adb, _, _ = rig
+        raw = adb.shell("serial-1", "cat /sys/class/power_supply/battery/voltage_now")
+        mv = parse_voltage_mv(raw)
+        assert 3000 < mv < 4500
+
+    def test_pgrep_then_top(self, rig):
+        sim, adb, phone, apk = rig
+        adb.shell("serial-1", f"pm clear {apk.package}")
+        adb.shell("serial-1", f"am start -n {apk.component}")
+        pid_raw = adb.shell("serial-1", f"pgrep -f {apk.package}")
+        pid = parse_pgrep_pid(pid_raw)
+        assert pid == phone.running_pid
+        top_raw = adb.shell("serial-1", f"top -b -n 1 -p {pid}")
+        cpu = parse_top_cpu(top_raw, pid)
+        assert 0.0 <= cpu <= 20.0
+
+    def test_pgrep_not_running(self, rig):
+        _, adb, _, apk = rig
+        raw = adb.shell("serial-1", f"pgrep -f {apk.package}")
+        assert parse_pgrep_pid(raw) is None
+
+    def test_dumpsys_grep_pss(self, rig):
+        _, adb, phone, apk = rig
+        adb.shell("serial-1", f"am start -n {apk.component}")
+        raw = adb.shell("serial-1", f"dumpsys meminfo {apk.package} | grep PSS")
+        # grep keeps only PSS-bearing lines; parser must isolate TOTAL PSS.
+        assert "TOTAL PSS" in raw
+        assert "Java Heap" not in raw
+        kb = parse_pss_kb(raw)
+        assert kb == pytest.approx(phone.memory_pss_kb(apk.package), rel=0.2)
+
+    def test_net_dev_grep_wlan(self, rig):
+        sim, adb, phone, apk = rig
+        adb.shell("serial-1", f"am start -n {apk.component}")
+        pid = phone.running_pid
+        phone.start_training(5.0, upload_bytes=10_000)
+        sim.run()
+        raw = adb.shell("serial-1", f"cat /proc/{pid}/net/dev | grep wlan")
+        rx, tx = parse_net_dev(raw)
+        assert "lo:" not in raw
+        assert rx + tx > 10_000
+
+    def test_lifecycle_commands(self, rig):
+        _, adb, phone, apk = rig
+        assert "Success" in adb.shell("serial-1", f"pm clear {apk.package}")
+        assert "Starting" in adb.shell("serial-1", f"am start -n {apk.component}")
+        assert "Broadcast completed" in adb.shell(
+            "serial-1", f"am broadcast -a {apk.package}.START"
+        )
+        adb.shell("serial-1", f"am force-stop {apk.package}")
+        assert phone.running_pid is None
+
+    def test_unknown_command_is_shell_error(self, rig):
+        _, adb, _, _ = rig
+        with pytest.raises(AdbError, match="not found"):
+            adb.shell("serial-1", "frobnicate --now")
+
+    def test_unknown_path(self, rig):
+        _, adb, _, _ = rig
+        with pytest.raises(AdbError, match="No such file"):
+            adb.shell("serial-1", "cat /sys/does/not/exist")
+
+    def test_unsupported_pipeline(self, rig):
+        _, adb, _, _ = rig
+        with pytest.raises(AdbError, match="unsupported pipeline"):
+            adb.shell("serial-1", "cat /sys/class/power_supply/battery/current_now | awk x")
+
+
+class TestParsers:
+    def test_parse_current_magnitude(self):
+        assert parse_current_ua("-57600\n") == 57600.0
+        assert parse_current_ua("57600") == 57600.0
+        with pytest.raises(ValueError):
+            parse_current_ua("   ")
+
+    def test_parse_voltage_units(self):
+        assert parse_voltage_mv("3852000\n") == pytest.approx(3852.0)
+
+    def test_parse_top_missing_pid_is_zero(self):
+        raw = "  PID USER  PR NI VIRT RES SHR S[%CPU] %MEM TIME+ ARGS\n"
+        assert parse_top_cpu(raw, 123) == 0.0
+
+    def test_parse_pss_ignores_heap_lines(self):
+        raw = "          Java Heap:     8000\n         TOTAL PSS:     34520            TOTAL RSS: 48000\n"
+        assert parse_pss_kb(raw) == 34520
+        assert parse_pss_kb("No process found for: x\n") == 0
+
+    def test_parse_net_dev_sums_wlan_only(self):
+        raw = (
+            "    lo:     4096      12    0    0    0     0          0         0     4096      12    0    0    0     0       0          0\n"
+            " wlan0:    10000       7    0    0    0     0          0         0     2000       2    0    0    0     0       0          0\n"
+            " wlan1:      500       1    0    0    0     0          0         0      500       1    0    0    0     0       0          0\n"
+        )
+        rx, tx = parse_net_dev(raw)
+        assert rx == 10_500
+        assert tx == 2_500
+
+    def test_parse_net_dev_malformed(self):
+        with pytest.raises(ValueError):
+            parse_net_dev(" wlan0: 1 2 3\n")
+
+    def test_integrate_energy_trapezoid(self):
+        def sample(t, ma):
+            return DeviceMetricSample(t, "s", ma * 1000.0, 3850.0, 0.0, 0, 0, 0)
+
+        # Constant 100 mA for one hour -> 100 mAh.
+        samples = [sample(0.0, 100.0), sample(1800.0, 100.0), sample(3600.0, 100.0)]
+        assert integrate_energy_mah(samples) == pytest.approx(100.0)
+        assert integrate_energy_mah(samples[:1]) == 0.0
+
+    def test_integrate_energy_unordered_rejected(self):
+        def sample(t):
+            return DeviceMetricSample(t, "s", 1000.0, 3850.0, 0.0, 0, 0, 0)
+
+        with pytest.raises(ValueError):
+            integrate_energy_mah([sample(10.0), sample(5.0)])
+
+    def test_parse_metric_sample_assembly(self):
+        sample = parse_metric_sample(
+            timestamp=12.0,
+            serial="s",
+            current_raw="-40000\n",
+            voltage_raw="3850000\n",
+            top_raw=" 4123 u0_a1 10 -10 50000K 40000K 12000K S  8.3  0.4 0:42.17 com.simdc.train\n",
+            pid=4123,
+            dumpsys_raw="         TOTAL PSS:     30000\n",
+            net_dev_raw=" wlan0: 100 1 0 0 0 0 0 0 50 1 0 0 0 0 0 0\n",
+        )
+        assert sample.current_ma == pytest.approx(40.0)
+        assert sample.voltage_mv == pytest.approx(3850.0)
+        assert sample.cpu_percent == pytest.approx(8.3)
+        assert sample.memory_kb == 30000
+        assert sample.total_bytes == 150

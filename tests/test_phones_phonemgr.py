@@ -1,0 +1,286 @@
+"""Integration tests for PhoneMgr: staging, rounds, benchmarking, MSP."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.actor import DeviceAssignment
+from repro.data import SyntheticAvazu
+from repro.ml import standard_fl_flow
+from repro.phones import (
+    MobileServicePlatform,
+    PhoneAssignment,
+    PhoneMgr,
+    PhysicalCostModel,
+    SimulatedAdb,
+    TrainingApk,
+    VirtualPhone,
+)
+from repro.phones.apk import ApkStage
+from repro.phones.specs import DEFAULT_LOCAL_FLEET, DEFAULT_MSP_FLEET
+from repro.simkernel import RandomStreams, Simulator
+
+
+def build_rig(n_local=10, poll_interval=1.0, on_sample=None, cost_model=None):
+    sim = Simulator()
+    adb = SimulatedAdb()
+    streams = RandomStreams(5)
+    phones = []
+    for i, spec in enumerate(DEFAULT_LOCAL_FLEET[:n_local]):
+        phone = VirtualPhone(sim, f"local-{i:02d}", spec, streams=streams)
+        adb.register(phone)
+        phones.append(phone)
+    mgr = PhoneMgr(
+        sim,
+        adb,
+        phones,
+        cost_model=cost_model or PhysicalCostModel(),
+        streams=streams,
+        poll_interval=poll_interval,
+        on_sample=on_sample,
+    )
+    return sim, adb, mgr, phones
+
+
+def time_only_plan(grade, n_devices, n_phones, n_bench=0):
+    return PhoneAssignment(
+        grade=grade,
+        assignments=[DeviceAssignment(f"{grade}-d{i}", grade, 10) for i in range(n_devices)],
+        benchmarking=[DeviceAssignment(f"{grade}-bench{i}", grade, 10) for i in range(n_bench)],
+        n_phones=n_phones,
+        flow=standard_fl_flow(),
+        numeric=False,
+    )
+
+
+class TestSelection:
+    def test_local_preferred_over_msp(self):
+        sim, adb, mgr, phones = build_rig(n_local=4)
+        msp = MobileServicePlatform(sim, adb, DEFAULT_MSP_FLEET, streams=RandomStreams(1))
+        mgr.phones.extend(msp.provision())
+        chosen = mgr.select_phones("High", 3)
+        assert all(not phone.is_msp for phone in chosen)
+
+    def test_selection_overflows_to_msp(self):
+        sim, adb, mgr, phones = build_rig(n_local=10)
+        msp = MobileServicePlatform(sim, adb, DEFAULT_MSP_FLEET, streams=RandomStreams(1))
+        mgr.phones.extend(msp.provision())
+        chosen = mgr.select_phones("High", 10)  # only 4 local High exist
+        assert sum(1 for phone in chosen if phone.is_msp) == 6
+
+    def test_insufficient_phones_rejected(self):
+        _, _, mgr, _ = build_rig(n_local=10)
+        with pytest.raises(RuntimeError):
+            mgr.select_phones("High", 5)
+
+    def test_release_returns_to_pool(self):
+        _, _, mgr, _ = build_rig()
+        chosen = mgr.select_phones("High", 4)
+        assert len(mgr.available_phones("High")) == 0
+        mgr.release_phones(chosen)
+        assert len(mgr.available_phones("High")) == 4
+
+
+class TestRoundExecution:
+    def test_time_only_round_makespan(self):
+        cost = PhysicalCostModel(
+            beta={"High": 10.0}, framework_startup={"High": 45.0}, stage_window=15.0
+        )
+        sim, adb, mgr, _ = build_rig(cost_model=cost)
+        plan = time_only_plan("High", n_devices=8, n_phones=4)
+        outcomes = []
+
+        def run():
+            start = sim.now
+            yield sim.process(mgr.prepare([plan], task_id="t1"))
+            prepared = sim.now
+            # Framework startup (lambda) is paid once in prepare.
+            assert prepared - start == pytest.approx(45.0)
+            yield sim.process(
+                mgr.run_round(1, None, 0.0, model_bytes=0, on_outcome=outcomes.append)
+            )
+
+        sim.process(run())
+        sim.run()
+        assert len(outcomes) == 8
+        # 8 devices over 4 phones -> 2 sequential trainings of 10 s each
+        # (plus negligible staging time with model_bytes=0 and tiny data).
+        finish_times = [o.finished_at for o in outcomes]
+        assert max(finish_times) - 45.0 < 25.0
+
+    def test_numeric_round_produces_updates(self):
+        sim, adb, mgr, _ = build_rig()
+        data = SyntheticAvazu(n_devices=4, records_per_device=12, feature_dim=64, seed=2).generate()
+        ids = data.device_ids()
+        plan = PhoneAssignment(
+            grade="Low",
+            assignments=[
+                DeviceAssignment(d, "Low", data.shard(d).n_samples, dataset=data.shard(d))
+                for d in ids
+            ],
+            benchmarking=[],
+            n_phones=2,
+            flow=standard_fl_flow(epochs=1),
+            feature_dim=64,
+            numeric=True,
+        )
+        updates = []
+
+        def run():
+            yield sim.process(mgr.prepare([plan]))
+            yield sim.process(
+                mgr.run_round(
+                    1, np.zeros(64), 0.0, model_bytes=584,
+                    on_outcome=lambda o: updates.append(o.update),
+                )
+            )
+
+        sim.process(run())
+        sim.run()
+        assert len(updates) == 4
+        assert all(u is not None and u.metadata["backend"] == "mnn-device" for u in updates)
+
+    def test_prepare_twice_rejected(self):
+        sim, _, mgr, _ = build_rig()
+        plan = time_only_plan("High", 2, 2)
+
+        def run():
+            yield sim.process(mgr.prepare([plan]))
+
+        sim.process(run())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            list(mgr.prepare([plan]))
+
+    def test_teardown_releases_phones(self):
+        sim, _, mgr, _ = build_rig()
+        plan = time_only_plan("High", 2, 2)
+
+        def run():
+            yield sim.process(mgr.prepare([plan]))
+            yield sim.process(mgr.run_round(1, None, 0.0, 0, lambda o: None))
+            yield sim.process(mgr.teardown())
+
+        sim.process(run())
+        sim.run()
+        assert len(mgr.available_phones("High")) == 4
+        assert mgr.plans == []
+
+
+class TestBenchmarking:
+    def run_benchmark(self, poll_interval=1.0, n_rounds=1):
+        samples_seen = []
+        cost = PhysicalCostModel()
+        sim, adb, mgr, phones = build_rig(
+            poll_interval=poll_interval, on_sample=samples_seen.append, cost_model=cost
+        )
+        plan = time_only_plan("High", n_devices=0, n_phones=0, n_bench=1)
+
+        def run():
+            yield sim.process(mgr.prepare([plan]))
+            for round_index in range(1, n_rounds + 1):
+                yield sim.process(mgr.run_round(round_index, None, 0.0, 33000, lambda o: None))
+
+        sim.process(run())
+        sim.run()
+        return mgr, samples_seen
+
+    def test_five_stages_recorded(self):
+        mgr, _ = self.run_benchmark()
+        record = mgr.benchmark_records[0]
+        stages = [stage for stage, _, _ in record.boundaries]
+        assert stages == [
+            ApkStage.NO_APK,
+            ApkStage.APK_LAUNCH,
+            ApkStage.TRAINING,
+            ApkStage.POST_TRAINING,
+            ApkStage.APK_CLOSURE,
+        ]
+
+    def test_stage_durations_match_table1(self):
+        mgr, _ = self.run_benchmark()
+        summaries = mgr.benchmark_records[0].stage_summaries()
+        by_stage = {s.stage: s for s in summaries}
+        for stage in (1, 2, 4, 5):
+            assert by_stage[stage].duration_min == pytest.approx(0.25, abs=0.01)
+        assert by_stage[3].duration_min == pytest.approx(0.27, abs=0.01)
+
+    def test_training_stage_energy_in_table1_ballpark(self):
+        mgr, _ = self.run_benchmark()
+        summaries = {s.stage: s for s in mgr.benchmark_records[0].stage_summaries()}
+        # Table I High-grade training: 0.18 mAh over 0.27 min.
+        assert summaries[3].power_mah == pytest.approx(0.18, rel=0.35)
+
+    def test_training_stage_comm_near_33kb(self):
+        mgr, _ = self.run_benchmark()
+        summaries = {s.stage: s for s in mgr.benchmark_records[0].stage_summaries()}
+        assert summaries[3].comm_kb == pytest.approx(33.1, rel=0.15)
+
+    def test_samples_stream_to_hook(self):
+        _, samples = self.run_benchmark()
+        # Session lasts ~4*15s + 16.2s ~= 76 s at 1 Hz.
+        assert len(samples) > 60
+        assert all(s.serial == samples[0].serial for s in samples)
+
+    def test_sampling_gap_between_rounds(self):
+        """Fig. 5: no data recorded while waiting for aggregation."""
+        mgr, samples = self.run_benchmark(n_rounds=2)
+        assert len(mgr.benchmark_records) == 2
+        first = mgr.benchmark_records[0]
+        second = mgr.benchmark_records[1]
+        end_of_first = max(end for _, _, end in first.boundaries)
+        start_of_second = min(start for _, start, _ in second.boundaries)
+        gap_samples = [
+            s for s in samples if end_of_first + 1 < s.timestamp < start_of_second - 1
+        ]
+        assert gap_samples == []
+
+
+class TestMsp:
+    def test_provision_and_release(self):
+        sim = Simulator()
+        adb = SimulatedAdb()
+        msp = MobileServicePlatform(sim, adb, DEFAULT_MSP_FLEET, streams=RandomStreams(0))
+        phones = msp.provision()
+        assert len(phones) == 20
+        assert len(msp.by_grade("High")) == 13
+        with pytest.raises(RuntimeError):
+            msp.provision()
+        msp.release_all()
+        assert msp.phones == []
+
+    def test_partial_availability(self):
+        sim = Simulator()
+        adb = SimulatedAdb()
+        msp = MobileServicePlatform(
+            sim, adb, DEFAULT_MSP_FLEET, streams=RandomStreams(0), availability=0.5
+        )
+        phones = msp.provision()
+        assert 0 < len(phones) < 20
+
+    def test_validation(self):
+        sim = Simulator()
+        adb = SimulatedAdb()
+        with pytest.raises(ValueError):
+            MobileServicePlatform(sim, adb, control_latency=-1)
+        with pytest.raises(ValueError):
+            MobileServicePlatform(sim, adb, availability=1.5)
+
+    def test_msp_control_latency_delays_round(self):
+        sim = Simulator()
+        adb = SimulatedAdb()
+        streams = RandomStreams(2)
+        msp = MobileServicePlatform(sim, adb, DEFAULT_MSP_FLEET[:2], streams=streams,
+                                    control_latency=0.8)
+        phones = msp.provision()
+        cost = PhysicalCostModel(msp_control_latency=0.8)
+        mgr = PhoneMgr(sim, adb, phones, cost_model=cost, streams=streams)
+        plan = time_only_plan("High", n_devices=2, n_phones=2)
+
+        def run():
+            start = sim.now
+            yield sim.process(mgr.prepare([plan]))
+            # lambda (45s) + one control-latency hit per remote phone.
+            assert sim.now - start == pytest.approx(45.0 + 0.8)
+
+        sim.process(run())
+        sim.run()

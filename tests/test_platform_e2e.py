@@ -1,0 +1,180 @@
+"""End-to-end platform tests: SimDC tasks through every substrate."""
+
+import pytest
+
+from repro import (
+    GradeRequirement,
+    PlatformConfig,
+    RealTimeAccumulatedStrategy,
+    ResourceBundle,
+    SimDC,
+    TaskSpec,
+    TaskState,
+)
+from repro.cluster import NodeSpec
+from repro.ml import standard_fl_flow
+
+
+def small_platform(seed=0):
+    config = PlatformConfig(
+        seed=seed,
+        cluster_nodes=[NodeSpec(cpus=20, memory_gb=30)] * 2,
+        scheduling_interval=5.0,
+    )
+    return SimDC(config)
+
+
+def small_task(name="e2e", rounds=2, n_devices=8, bundles=8, n_phones=2, n_benchmark=0,
+               strategy=None, numeric=True, priority=0):
+    return TaskSpec(
+        name=name,
+        priority=priority,
+        grades=[
+            GradeRequirement(
+                grade="High",
+                n_devices=n_devices,
+                bundles=bundles,
+                n_phones=n_phones,
+                n_benchmark=n_benchmark,
+                device_bundle=ResourceBundle(cpus=2, memory_gb=2),
+            )
+        ],
+        rounds=rounds,
+        flow=standard_fl_flow(epochs=1),
+        deviceflow_strategy=strategy,
+        numeric=numeric,
+        feature_dim=128,
+        records_per_device=10,
+    )
+
+
+class TestEndToEnd:
+    def test_numeric_task_completes_and_learns(self):
+        platform = small_platform()
+        spec = small_task(rounds=3)
+        platform.submit(spec)
+        platform.run_until_idle(max_time=1e7)
+        result = platform.result(spec.task_id)
+        assert result.state is TaskState.COMPLETED
+        assert len(result.rounds) == 3
+        assert result.rounds[0].n_updates == 8
+        assert result.rounds[-1].test_accuracy is not None
+        # FedAvg over LR on learnable synthetic data: loss must improve.
+        assert result.rounds[-1].test_loss <= result.rounds[0].test_loss + 1e-6
+        assert result.makespan > 0
+
+    def test_allocation_recorded(self):
+        platform = small_platform()
+        spec = small_task()
+        platform.submit(spec)
+        platform.run_until_idle(max_time=1e7)
+        allocation = platform.result(spec.task_id).allocation
+        assert allocation is not None
+        assert allocation.x["High"] + allocation.grades[0].physical == 8
+
+    def test_deviceflow_path(self):
+        platform = small_platform()
+        spec = small_task(strategy=RealTimeAccumulatedStrategy([3]), rounds=2)
+        platform.submit(spec)
+        platform.run_until_idle(max_time=1e7)
+        result = platform.result(spec.task_id)
+        assert result.state is TaskState.COMPLETED
+        assert result.flow_stats is not None
+        assert result.flow_stats.received == 16  # 8 devices x 2 rounds
+        assert result.flow_stats.delivered == 16
+
+    def test_deviceflow_dropout_reduces_aggregated_updates(self):
+        platform = small_platform()
+        spec = small_task(
+            strategy=RealTimeAccumulatedStrategy([1], failure_prob=0.5),
+            rounds=1, n_devices=20, bundles=20, n_phones=3,
+        )
+        platform.submit(spec)
+        platform.run_until_idle(max_time=1e7)
+        result = platform.result(spec.task_id)
+        assert result.rounds[0].n_updates < 20
+        assert result.flow_stats.dropped_failure > 0
+
+    def test_benchmark_devices_measured(self):
+        platform = small_platform()
+        spec = small_task(n_benchmark=1, rounds=1)
+        platform.submit(spec)
+        platform.run_until_idle(max_time=1e7)
+        samples = platform.db.query("device_samples", task_id=spec.task_id)
+        assert len(samples) > 30  # ~76 s session at 1 Hz
+        assert {"current_ua", "cpu_percent", "memory_kb"} <= set(samples[0])
+
+    def test_fixed_allocation_override(self):
+        platform = small_platform()
+        spec = small_task()
+        platform.submit(spec, fixed_allocation={"High": 8})
+        platform.run_until_idle(max_time=1e7)
+        allocation = platform.result(spec.task_id).allocation
+        assert allocation.solver == "fixed"
+        assert allocation.x["High"] == 8
+
+    def test_time_only_task(self):
+        platform = small_platform()
+        spec = small_task(numeric=False, rounds=1, n_devices=30, bundles=10, n_phones=3)
+        platform.submit(spec)
+        platform.run_until_idle(max_time=1e7)
+        result = platform.result(spec.task_id)
+        assert result.state is TaskState.COMPLETED
+        assert result.rounds[0].n_updates == 30
+        assert result.rounds[0].test_accuracy is None  # counting mode
+
+    def test_concurrent_tasks_share_resources(self):
+        platform = small_platform()
+        first = small_task("first", rounds=1, bundles=8, n_phones=1)
+        second = small_task("second", rounds=1, bundles=8, n_phones=1)
+        platform.submit(first)
+        platform.submit(second)
+        platform.run_until_idle(max_time=1e7)
+        assert platform.result(first.task_id).state is TaskState.COMPLETED
+        assert platform.result(second.task_id).state is TaskState.COMPLETED
+        # Both fit side by side (16 bundles <= 40), so they overlap.
+        r1, r2 = platform.result(first.task_id), platform.result(second.task_id)
+        assert r1.started_at < r2.finished_at and r2.started_at < r1.finished_at
+
+    def test_queued_task_waits_for_resources(self):
+        platform = small_platform()  # 40 bundles total
+        big = small_task("big", rounds=1, bundles=30, n_phones=2, priority=5)
+        other = small_task("other", rounds=1, bundles=30, n_phones=2, priority=1)
+        platform.submit(big)
+        platform.submit(other)
+        platform.run_until_idle(max_time=1e7)
+        r_big = platform.result(big.task_id)
+        r_other = platform.result(other.task_id)
+        # 60 bundles cannot co-run on 40: the second starts after the first ends.
+        assert r_other.started_at >= r_big.finished_at
+
+    def test_monitor_records_lifecycle(self):
+        platform = small_platform()
+        spec = small_task(rounds=1)
+        platform.submit(spec)
+        platform.run_until_idle(max_time=1e7)
+        kinds = platform.monitor.summary()
+        assert kinds["task_submitted"] == 1
+        assert kinds["task_scheduled"] == 1
+        assert kinds["task_completed"] == 1
+        assert kinds["round_aggregated"] == 1
+
+    def test_resources_fully_released_after_tasks(self):
+        platform = small_platform()
+        spec = small_task(rounds=1)
+        platform.submit(spec)
+        platform.run_until_idle(max_time=1e7)
+        assert platform.resource_manager.active_grants == 0
+        assert platform.cluster.free_cpus == platform.cluster.total_cpus
+        assert len(platform._busy_registry) == 0
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            platform = small_platform(seed=7)
+            spec = small_task(rounds=2)
+            platform.submit(spec)
+            platform.run_until_idle(max_time=1e7)
+            result = platform.result(spec.task_id)
+            return (result.makespan, result.rounds[-1].test_loss)
+
+        assert run_once() == run_once()

@@ -1,0 +1,170 @@
+"""Unit tests for the event queue and simulator loop."""
+
+import pytest
+
+from repro.simkernel import ProcessError, Simulator, Timeout
+from repro.simkernel.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda: order.append("c"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(2.0, lambda: order.append("b"))
+        while queue:
+            queue.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_priority_then_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("third"), priority=5)
+        queue.push(1.0, lambda: order.append("first"), priority=0)
+        queue.push(1.0, lambda: order.append("second"), priority=0)
+        while queue:
+            queue.pop().callback()
+        assert order == ["first", "second", "third"]
+
+    def test_cancel_skips_event(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.push(1.0, lambda: fired.append(1))
+        queue.cancel(handle)
+        assert queue.pop() is None
+        assert fired == []
+        assert len(queue) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 2.0
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        a = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.cancel(a)
+        assert len(queue) == 1
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert not queue
+        assert queue.peek_time() is None
+
+
+class TestSimulatorScheduling:
+    def test_schedule_advances_clock(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.0, 5.0]
+        assert sim.now == 5.0
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_at(12.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.5]
+
+    def test_schedule_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until_time_boundary(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("early"))
+        sim.schedule(10.0, lambda: seen.append("late"))
+        sim.run(until=5.0)
+        assert seen == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_run_until_predicate(self):
+        sim = Simulator()
+        box = {"n": 0}
+
+        def bump():
+            box["n"] += 1
+            sim.schedule(1.0, bump)
+
+        sim.schedule(1.0, bump)
+        sim.run_until(lambda: box["n"] >= 3)
+        assert box["n"] == 3
+        assert sim.now == 3.0
+
+    def test_run_until_raises_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(TimeoutError):
+            sim.run_until(lambda: False)
+
+    def test_run_until_respects_max_time(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(TimeoutError):
+            sim.run_until(lambda: False, max_time=10.0)
+        assert sim.now <= 10.0
+
+    def test_cancel_scheduled_event(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert seen == []
+
+    def test_pending_events_property(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+
+class TestFailurePropagation:
+    def test_orphan_process_failure_raises_in_strict_mode(self):
+        sim = Simulator(strict=True)
+
+        def boom():
+            yield Timeout(1.0)
+            raise ValueError("bang")
+
+        sim.process(boom())
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_orphan_failure_recorded_when_not_strict(self):
+        sim = Simulator(strict=False)
+
+        def boom():
+            yield Timeout(1.0)
+            raise ValueError("bang")
+
+        sim.process(boom())
+        sim.run()
+        assert len(sim.orphan_failures) == 1
+        _, error = sim.orphan_failures[0]
+        assert isinstance(error, ValueError)

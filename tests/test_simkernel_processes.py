@@ -1,0 +1,268 @@
+"""Unit tests for processes, signals and combinators."""
+
+import pytest
+
+from repro.simkernel import AllOf, AnyOf, Interrupt, Signal, Simulator, Timeout
+
+
+class TestProcessBasics:
+    def test_process_advances_through_timeouts(self):
+        sim = Simulator()
+        trace = []
+
+        def worker():
+            trace.append(("start", sim.now))
+            yield Timeout(2.0)
+            trace.append(("mid", sim.now))
+            yield Timeout(3.0)
+            trace.append(("end", sim.now))
+            return "done"
+
+        proc = sim.process(worker())
+        sim.run()
+        assert trace == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+        assert proc.done
+        assert proc.result == "done"
+        assert proc.error is None
+
+    def test_timeout_carries_value(self):
+        sim = Simulator()
+        got = []
+
+        def worker():
+            value = yield Timeout(1.0, value="payload")
+            got.append(value)
+
+        sim.process(worker())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-0.5)
+
+    def test_yielding_non_waitable_is_type_error(self):
+        sim = Simulator(strict=False)
+
+        def bad():
+            yield 42
+
+        proc = sim.process(bad())
+        sim.run()
+        assert isinstance(proc.error, TypeError)
+
+    def test_process_waits_on_child_process(self):
+        sim = Simulator()
+        order = []
+
+        def child():
+            yield Timeout(5.0)
+            order.append("child")
+            return 99
+
+        def parent():
+            value = yield sim.process(child())
+            order.append(("parent", value, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert order == ["child", ("parent", 99, 5.0)]
+
+    def test_child_error_raised_in_parent(self):
+        sim = Simulator()
+        caught = []
+
+        def child():
+            yield Timeout(1.0)
+            raise RuntimeError("child failed")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(parent())
+        sim.run()
+        assert caught == ["child failed"]
+
+    def test_waiting_on_finished_process_resumes_immediately(self):
+        sim = Simulator()
+
+        def child():
+            return 7
+            yield  # pragma: no cover - makes this a generator
+
+        def parent():
+            proc = sim.process(child())
+            yield Timeout(10.0)
+            assert proc.done
+            value = yield proc
+            return value
+
+        parent_proc = sim.process(parent())
+        sim.run()
+        assert parent_proc.result == 7
+        assert sim.now == 10.0
+
+
+class TestSignals:
+    def test_fire_wakes_waiters_with_value(self):
+        sim = Simulator()
+        signal = Signal("data-ready")
+        got = []
+
+        def waiter(tag):
+            value = yield signal
+            got.append((tag, value, sim.now))
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+        sim.schedule(3.0, signal.fire, {"k": 1})
+        sim.run()
+        assert got == [("a", {"k": 1}, 3.0), ("b", {"k": 1}, 3.0)]
+
+    def test_wait_on_already_fired_signal(self):
+        sim = Simulator()
+        signal = Signal()
+        signal.fire("early")
+        got = []
+
+        def waiter():
+            value = yield signal
+            got.append(value)
+
+        sim.process(waiter())
+        sim.run()
+        assert got == ["early"]
+
+    def test_double_fire_is_error(self):
+        signal = Signal()
+        signal.fire()
+        with pytest.raises(RuntimeError):
+            signal.fire()
+
+    def test_fail_raises_in_waiter(self):
+        sim = Simulator()
+        signal = Signal()
+        caught = []
+
+        def waiter():
+            try:
+                yield signal
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter())
+        sim.schedule(1.0, signal.fail, ValueError("no"))
+        sim.run()
+        assert caught == ["no"]
+
+
+class TestCombinators:
+    def test_all_of_collects_in_input_order(self):
+        sim = Simulator()
+        result = []
+
+        def slow():
+            yield Timeout(5.0)
+            return "slow"
+
+        def fast():
+            yield Timeout(1.0)
+            return "fast"
+
+        def parent():
+            values = yield AllOf([sim.process(slow()), sim.process(fast())])
+            result.append((values, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert result == [(["slow", "fast"], 5.0)]
+
+    def test_all_of_empty_resolves_immediately(self):
+        sim = Simulator()
+        seen = []
+
+        def parent():
+            values = yield AllOf([])
+            seen.append(values)
+
+        sim.process(parent())
+        sim.run()
+        assert seen == [[]]
+
+    def test_all_of_propagates_first_error(self):
+        sim = Simulator()
+        caught = []
+
+        def ok():
+            yield Timeout(10.0)
+
+        def bad():
+            yield Timeout(1.0)
+            raise KeyError("broken")
+
+        def parent():
+            try:
+                yield AllOf([sim.process(ok()), sim.process(bad())])
+            except KeyError:
+                caught.append(sim.now)
+
+        sim.process(parent())
+        sim.run()
+        assert caught == [1.0]
+
+    def test_any_of_returns_index_and_value(self):
+        sim = Simulator()
+        seen = []
+
+        def slow():
+            yield Timeout(9.0)
+            return "slow"
+
+        def fast():
+            yield Timeout(2.0)
+            return "fast"
+
+        def parent():
+            index, value = yield AnyOf([sim.process(slow()), sim.process(fast())])
+            seen.append((index, value, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert seen == [(1, "fast", 2.0)]
+
+    def test_any_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AnyOf([])
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self):
+        sim = Simulator()
+        seen = []
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+            except Interrupt as exc:
+                seen.append((exc.cause, sim.now))
+
+        proc = sim.process(sleeper())
+        sim.schedule(3.0, proc.interrupt, "wake up")
+        sim.run()
+        assert seen == [("wake up", 3.0)]
+
+    def test_interrupt_after_done_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield Timeout(1.0)
+            return "ok"
+
+        proc = sim.process(quick())
+        sim.run()
+        proc.interrupt("late")
+        sim.run()
+        assert proc.result == "ok"
