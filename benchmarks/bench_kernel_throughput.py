@@ -3,18 +3,43 @@
 Everything in SimDC reduces to kernel events; these numbers bound how big
 a simulation one wall-clock second buys (the 100k-device sweeps of Fig. 8
 schedule roughly one million events).
+
+The paired ``*_batched`` / pooled variants exercise the fast paths added
+for the scalability work: same-timestamp batch draining (``run(batch=
+True)``) and the vectorized :class:`TimeoutPool`.  ``test_batched_vs_
+legacy_report`` persists the old-vs-new ratios that the CI regression gate
+(``benchmarks/ci_gate.py``) checks on every push.
 """
+
+import time
 
 from conftest import full_scale
 
-from repro.simkernel import Semaphore, Simulator, Timeout
+from repro.simkernel import Semaphore, Simulator, Timeout, TimeoutPool
 
 
-def schedule_and_drain(n_events: int) -> None:
+def schedule_and_drain(n_events: int, batch: bool = False) -> None:
     sim = Simulator()
     for i in range(n_events):
         sim.schedule(float(i % 97), lambda: None)
-    sim.run()
+    sim.run(batch=batch)
+
+
+def schedule_and_drain_batched(n_events: int) -> None:
+    schedule_and_drain(n_events, batch=True)
+
+
+def pooled_timeouts(n_entries: int) -> None:
+    """The TimeoutPool counterpart of ``schedule_and_drain``."""
+    sim = Simulator()
+    pool = TimeoutPool(sim)
+
+    def noop() -> None:
+        return None
+
+    for i in range(n_entries):
+        pool.add(float(i % 97), noop)
+    sim.run(batch=True)
 
 
 def process_chains(n_processes: int, hops: int) -> None:
@@ -43,9 +68,48 @@ def contended_semaphore(n_workers: int) -> None:
     sim.run()
 
 
+def bench_scale() -> int:
+    return 200_000 if full_scale() else 50_000
+
+
+def measure_throughputs(n_events: int, repeats: int = 3) -> dict:
+    """Events/second for the legacy, batched and pooled drain paths.
+
+    Plain-function form (no pytest-benchmark) so ``ci_gate.py`` can reuse
+    it; takes the best of ``repeats`` runs to damp scheduler noise.
+    """
+
+    def best(fn) -> float:
+        walls = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn(n_events)
+            walls.append(time.perf_counter() - start)
+        return n_events / min(walls)
+
+    legacy = best(schedule_and_drain)
+    batched = best(schedule_and_drain_batched)
+    pooled = best(pooled_timeouts)
+    return {
+        "n_events": n_events,
+        "events_per_sec_legacy": legacy,
+        "events_per_sec_batched": batched,
+        "events_per_sec_pooled": pooled,
+        "batched_speedup": batched / legacy,
+        "pooled_speedup": pooled / legacy,
+    }
+
+
 def test_event_throughput(benchmark):
-    n = 200_000 if full_scale() else 50_000
-    benchmark.pedantic(schedule_and_drain, args=(n,), rounds=3, iterations=1)
+    benchmark.pedantic(schedule_and_drain, args=(bench_scale(),), rounds=3, iterations=1)
+
+
+def test_event_throughput_batched(benchmark):
+    benchmark.pedantic(schedule_and_drain_batched, args=(bench_scale(),), rounds=3, iterations=1)
+
+
+def test_timeout_pool_throughput(benchmark):
+    benchmark.pedantic(pooled_timeouts, args=(bench_scale(),), rounds=3, iterations=1)
 
 
 def test_process_switching(benchmark):
@@ -54,3 +118,18 @@ def test_process_switching(benchmark):
 
 def test_semaphore_contention(benchmark):
     benchmark.pedantic(contended_semaphore, args=(5_000,), rounds=3, iterations=1)
+
+
+def test_batched_vs_legacy_report(persist_result):
+    stats = measure_throughputs(bench_scale())
+    # Batch draining must never be slower than one-at-a-time stepping on
+    # this workload (~515 events share each of 97 timestamps at CI scale).
+    assert stats["batched_speedup"] > 0.9
+    assert stats["pooled_speedup"] > 0.9
+    persist_result(
+        "kernel_throughput_batched",
+        "Kernel drain throughput (events/s, higher is better)\n"
+        f"  legacy  : {stats['events_per_sec_legacy']:,.0f}\n"
+        f"  batched : {stats['events_per_sec_batched']:,.0f} ({stats['batched_speedup']:.2f}x)\n"
+        f"  pooled  : {stats['events_per_sec_pooled']:,.0f} ({stats['pooled_speedup']:.2f}x)",
+    )

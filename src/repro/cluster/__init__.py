@@ -12,26 +12,43 @@ while advancing simulated time according to a calibrated cost model, and a
 job-submission lifecycle.
 """
 
-from repro.cluster.actor import DeviceAssignment, SimActor
+from repro.cluster.actor import DeviceAssignment, DeviceRoundOutcome, SimActor
 from repro.cluster.cluster import K8sCluster
 from repro.cluster.cost import LogicalCostModel
 from repro.cluster.job import JobState, RayJob
 from repro.cluster.placement import PlacementGroup, PlacementStrategy
 from repro.cluster.resources import NodeSpec, ResourceBundle
-from repro.cluster.runner import GradeExecutionPlan, LogicalSimulation, RoundResult
+from repro.cluster.runner import (
+    ColumnarOutcomes,
+    GradeExecutionPlan,
+    LogicalSimulation,
+    RoundResult,
+)
+from repro.cluster.sharding import (
+    MergedRound,
+    ShardedLogicalSimulation,
+    ShardedRunResult,
+    partition_plans,
+)
 
 __all__ = [
+    "ColumnarOutcomes",
     "DeviceAssignment",
+    "DeviceRoundOutcome",
     "GradeExecutionPlan",
     "JobState",
     "K8sCluster",
     "LogicalCostModel",
     "LogicalSimulation",
+    "MergedRound",
     "NodeSpec",
     "PlacementGroup",
     "PlacementStrategy",
     "RayJob",
     "ResourceBundle",
     "RoundResult",
+    "ShardedLogicalSimulation",
+    "ShardedRunResult",
     "SimActor",
+    "partition_plans",
 ]

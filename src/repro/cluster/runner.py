@@ -21,7 +21,7 @@ from repro.cluster.placement import PlacementGroup, PlacementStrategy
 from repro.cluster.resources import ResourceBundle
 from repro.ml.backends import SERVER_BACKEND, NumericBackend
 from repro.ml.operators import OperatorFlow
-from repro.simkernel import AllOf, RandomStreams, Simulator, Timeout
+from repro.simkernel import AllOf, RandomStreams, Signal, Simulator, Timeout, TimeoutPool
 
 
 @dataclass
@@ -62,21 +62,78 @@ class GradeExecutionPlan:
     def __post_init__(self) -> None:
         if self.n_actors <= 0:
             raise ValueError("n_actors must be positive")
+        # One construction-time pass: validate grade homogeneity (the
+        # tentpole batched path relies on it to broadcast durations without
+        # touching assignment objects) and pre-sum staged bytes so sharded
+        # workers never iterate the device list either.
+        total_bytes = 0
+        for assignment in self.assignments:
+            if assignment.grade != self.grade:
+                raise ValueError(
+                    f"assignment {assignment.device_id!r} has grade "
+                    f"{assignment.grade!r} but the plan is for grade {self.grade!r}"
+                )
+            total_bytes += (
+                assignment.dataset.nbytes()
+                if assignment.dataset is not None
+                else 64 * assignment.n_samples
+            )
+        self._dataset_bytes = total_bytes
 
     def dataset_bytes(self) -> int:
-        """Total bytes of local data staged for this grade."""
-        return sum(
-            a.dataset.nbytes() if a.dataset is not None else 64 * a.n_samples
-            for a in self.assignments
-        )
+        """Total bytes of local data staged for this grade (precomputed)."""
+        return self._dataset_bytes
+
+
+@dataclass
+class ColumnarOutcomes:
+    """Outcomes of one time-only plan stored as arrays, not objects.
+
+    The batched fast path records a whole plan's round as one block:
+    ``finished_at[pos]`` is the upload-completion time of the device
+    ``plan.assignments[pos]`` (emission position equals assignment index
+    under the wave-major round-robin layout).  Blocks materialize to
+    :class:`DeviceRoundOutcome` objects lazily — the 100k scalability
+    sweeps never pay for 100k dataclass constructions.
+    """
+
+    plan: "GradeExecutionPlan"
+    round_index: int
+    payload_bytes: int
+    finished_at: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.finished_at)
+
+    def materialize(self) -> list[DeviceRoundOutcome]:
+        """Build the outcome objects in emission (chronological) order."""
+        return [
+            DeviceRoundOutcome(
+                device_id=assignment.device_id,
+                grade=assignment.grade,
+                round_index=self.round_index,
+                n_samples=assignment.n_samples,
+                payload_bytes=self.payload_bytes,
+                update=None,
+                finished_at=float(time),
+            )
+            for assignment, time in zip(self.plan.assignments, self.finished_at)
+        ]
 
 
 @dataclass
 class RoundResult:
-    """Summary of one logical-tier round."""
+    """Summary of one logical-tier round.
+
+    Outcomes live either in :attr:`outcomes` (eagerly built objects — the
+    generator path, or the batched path when a per-device callback was
+    requested) or in :attr:`columnar` blocks (the batched path without a
+    callback).  :meth:`all_outcomes` unifies the two.
+    """
 
     round_index: int
     outcomes: list[DeviceRoundOutcome] = field(default_factory=list)
+    columnar: list[ColumnarOutcomes] = field(default_factory=list)
     started_at: float = 0.0
     finished_at: float = 0.0
 
@@ -88,7 +145,36 @@ class RoundResult:
     @property
     def n_devices(self) -> int:
         """Devices that completed the round."""
-        return len(self.outcomes)
+        return len(self.outcomes) + sum(len(block) for block in self.columnar)
+
+    def all_outcomes(self) -> list[DeviceRoundOutcome]:
+        """Eager outcomes followed by materialized columnar blocks.
+
+        Within one source (and always for single-plan rounds) the order is
+        chronological; across mixed eager/columnar plans the groups are
+        concatenated rather than merged.
+        """
+        result = list(self.outcomes)
+        for block in self.columnar:
+            result.extend(block.materialize())
+        return result
+
+    def finished_times(self) -> np.ndarray:
+        """All completion times, unsorted, without materializing objects."""
+        parts = [np.array([o.finished_at for o in self.outcomes], dtype=np.float64)]
+        parts.extend(block.finished_at for block in self.columnar)
+        return np.concatenate(parts)
+
+    def payload_bytes_total(self) -> int:
+        """Bytes uploaded this round, without materializing columnar blocks.
+
+        Eager outcomes carry their true per-device payload (numeric runs
+        report the model update's size); columnar blocks are time-only, so
+        every device uploaded the block's fixed payload.
+        """
+        total = sum(o.payload_bytes for o in self.outcomes)
+        total += sum(len(block) * block.payload_bytes for block in self.columnar)
+        return total
 
 
 class LogicalSimulation:
@@ -105,15 +191,18 @@ class LogicalSimulation:
         cluster: K8sCluster,
         cost_model: Optional[LogicalCostModel] = None,
         streams: Optional[RandomStreams] = None,
+        batch: bool = True,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
         self.cost_model = cost_model or LogicalCostModel()
         self.streams = streams or RandomStreams(0)
+        self.batch = batch
         self.plans: list[GradeExecutionPlan] = []
         self.actors: dict[str, list[SimActor]] = {}
         self.placement_group: Optional[PlacementGroup] = None
         self.rounds: list[RoundResult] = []
+        self._pool = TimeoutPool(sim, name="logical-tier")
 
     def prepare(self, plans: list[GradeExecutionPlan], task_id: str = "task") -> Generator:
         """Allocate the placement group, start actors, stage datasets.
@@ -174,13 +263,17 @@ class LogicalSimulation:
         global_weights: Optional[np.ndarray],
         global_bias: float,
         model_bytes: int,
-        on_outcome: Callable[[DeviceRoundOutcome], None],
+        on_outcome: Optional[Callable[[DeviceRoundOutcome], None]] = None,
     ) -> Generator:
         """Execute one round across every grade's actors; barrier at end.
 
         ``on_outcome`` fires per device *as results complete*, which is
         what feeds DeviceFlow mid-round; the returned process resolves with
-        a :class:`RoundResult` once every device has finished.
+        a :class:`RoundResult` once every device has finished.  Pass
+        ``on_outcome=None`` when nothing consumes per-device results
+        mid-round: time-only plans then record one columnar block per plan
+        instead of constructing per-device outcome objects, which is what
+        makes the 100k-device sweeps cheap.
         """
         if self.placement_group is None and self.plans:
             raise RuntimeError("call prepare() before run_round()")
@@ -188,10 +281,15 @@ class LogicalSimulation:
 
         def collect(outcome: DeviceRoundOutcome) -> None:
             result.outcomes.append(outcome)
-            on_outcome(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
 
         actor_processes = []
+        batched_plans: list[GradeExecutionPlan] = []
         for plan in self.plans:
+            if self.batch and not plan.numeric:
+                batched_plans.append(plan)
+                continue
             queues = self._partition(plan.assignments, plan.n_actors)
             for actor, queue in zip(self.actors[plan.grade], queues):
                 actor_processes.append(
@@ -210,11 +308,117 @@ class LogicalSimulation:
                         name=f"{actor.actor_id}.round{round_index}",
                     )
                 )
-        if actor_processes:
-            yield AllOf(actor_processes)
+        barriers: list = list(actor_processes)
+        if batched_plans:
+            remaining = len(batched_plans)
+            batched_done = Signal(name=f"round{round_index}.batched-done")
+
+            def plan_done() -> None:
+                nonlocal remaining
+                remaining -= 1
+                if remaining == 0:
+                    batched_done.fire()
+
+            for plan in batched_plans:
+                self._register_batched_plan(
+                    plan, round_index, model_bytes, result, collect if on_outcome is not None else None, plan_done
+                )
+            barriers.append(batched_done)
+        if barriers:
+            yield AllOf(barriers)
         result.finished_at = self.sim.now
         self.rounds.append(result)
         return result
+
+    def _register_batched_plan(
+        self,
+        plan: GradeExecutionPlan,
+        round_index: int,
+        model_bytes: int,
+        result: RoundResult,
+        collect: Optional[Callable[[DeviceRoundOutcome], None]],
+        plan_done: Callable[[], None],
+    ) -> None:
+        """Register one time-only plan's whole round in the timeout pool.
+
+        Plans are grade-homogeneous (enforced at construction), so every
+        actor advances through identical waves: the whole round reduces to
+        ONE per-wave completion-time vector (the interleaved cumsum
+        ``((now + model_dl) + duration) + transfer`` chain, bit-identical
+        to the generator path) broadcast over the actors active in each
+        wave.  Emission position maps to assignment index by identity —
+        wave ``w``, actor ``a`` holds ``assignments[w * n_actors + a]``
+        under the round-robin partition.
+
+        With a ``collect`` callback the sequence drains wave by wave,
+        emitting outcomes in the generator path's order; without one the
+        entire plan becomes a single pooled deadline at its last completion
+        time plus a columnar block — no per-device objects, no per-device
+        events, and (in sharded workers) no touching of the assignment
+        list's elements at all.
+        """
+        total = len(plan.assignments)
+        if total == 0:
+            plan_done()
+            return
+        actors = self.actors[plan.grade]
+        n_actors = len(actors)
+        cost = self.cost_model
+        duration = cost.device_round_duration(plan.grade, plan.flow.total_work)
+        waves = -(-total // n_actors)
+        steps = np.empty(2 * waves + 2, dtype=np.float64)
+        steps[0] = self.sim.now
+        steps[1] = cost.transfer_duration(model_bytes)  # per-round model download
+        steps[2::2] = duration
+        steps[3::2] = cost.transfer_duration(model_bytes)  # per-device result upload
+        wave_times = np.cumsum(steps)[3::2]
+        full_waves, remainder = divmod(total, n_actors)
+        counts = np.full(waves, n_actors, dtype=np.int64)
+        if remainder:
+            counts[-1] = remainder
+        merged = np.repeat(wave_times, counts)
+
+        def count_completions() -> None:
+            for a, actor in enumerate(actors):
+                actor.devices_completed += full_waves + (1 if a < remainder else 0)
+
+        if collect is None:
+            def fire_all() -> None:
+                result.columnar.append(
+                    ColumnarOutcomes(
+                        plan=plan,
+                        round_index=round_index,
+                        payload_bytes=model_bytes,
+                        finished_at=merged,
+                    )
+                )
+                count_completions()
+                plan_done()
+
+            self._pool.add_at(float(merged[-1]), fire_all)
+            return
+
+        assignments = plan.assignments
+
+        def fire(lo: int, hi: int, _t: float) -> None:
+            for pos in range(lo, hi):
+                assignment = assignments[pos]
+                actors[pos % n_actors].devices_completed += 1
+                collect(
+                    DeviceRoundOutcome(
+                        device_id=assignment.device_id,
+                        grade=assignment.grade,
+                        round_index=round_index,
+                        n_samples=assignment.n_samples,
+                        payload_bytes=model_bytes,
+                        update=None,
+                        finished_at=float(merged[pos]),
+                    )
+                )
+            if hi == total:
+                plan_done()
+
+        self._pool.add_sequence(merged, fire)
 
     def teardown(self) -> None:
         """Release the placement group back to the cluster."""
@@ -234,4 +438,4 @@ class LogicalSimulation:
     @property
     def total_devices_completed(self) -> int:
         """Devices completed across all rounds so far."""
-        return sum(len(r.outcomes) for r in self.rounds)
+        return sum(r.n_devices for r in self.rounds)

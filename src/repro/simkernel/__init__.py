@@ -34,6 +34,7 @@ from repro.simkernel.processes import (
 from repro.simkernel.random import RandomStreams, stable_hash
 from repro.simkernel.resources import Semaphore, Store
 from repro.simkernel.simulator import Simulator
+from repro.simkernel.timeout_pool import PooledTimeout, TimeoutPool
 
 __all__ = [
     "AllOf",
@@ -41,6 +42,7 @@ __all__ = [
     "Event",
     "EventQueue",
     "Interrupt",
+    "PooledTimeout",
     "Process",
     "ProcessError",
     "RandomStreams",
@@ -49,5 +51,6 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "TimeoutPool",
     "stable_hash",
 ]
