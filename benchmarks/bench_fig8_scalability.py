@@ -10,6 +10,7 @@ per-event execution at the paper's 100k-device scale
 
 import time
 
+import numpy as np
 from conftest import full_scale
 
 from repro.baselines import SimDCRoundModel
@@ -23,9 +24,19 @@ from repro.cluster import (
     ResourceBundle,
     ShardedLogicalSimulation,
 )
+from repro.data.avazu import DeviceDataset
 from repro.experiments import format_fig8, run_fig8_scalability
 from repro.ml import standard_fl_flow
-from repro.simkernel import Simulator
+from repro.ml.fedavg import FedAvgPartial
+from repro.simkernel import RandomStreams, Simulator
+
+#: Numeric-sweep workload: small shards and a modest model keep the ML math
+#: per device light, so the comparison stresses execution strategy (per
+#: device generators vs stacked waves), not BLAS throughput.
+NUMERIC_FEATURE_DIM = 64
+NUMERIC_RECORDS = 8
+NUMERIC_FIELDS = 4
+NUMERIC_EPOCHS = 1
 
 
 def _sweep_cost_model(total_cores: int) -> LogicalCostModel:
@@ -97,6 +108,105 @@ def event_driven_round_time(
     return proc.result
 
 
+def _numeric_sweep_plan(n_devices: int, total_cores: int) -> GradeExecutionPlan:
+    rng = np.random.default_rng(12345)
+    features = rng.integers(
+        0, NUMERIC_FEATURE_DIM, size=(n_devices, NUMERIC_RECORDS, NUMERIC_FIELDS)
+    ).astype(np.int32)
+    labels = rng.integers(0, 2, size=(n_devices, NUMERIC_RECORDS)).astype(np.int8)
+    return GradeExecutionPlan(
+        grade="Std",
+        assignments=[
+            DeviceAssignment(
+                f"d{i}",
+                "Std",
+                NUMERIC_RECORDS,
+                dataset=DeviceDataset(f"d{i}", features[i], labels[i]),
+            )
+            for i in range(n_devices)
+        ],
+        n_actors=total_cores,
+        bundle=ResourceBundle(cpus=1, memory_gb=1),
+        flow=standard_fl_flow(epochs=NUMERIC_EPOCHS),
+        feature_dim=NUMERIC_FEATURE_DIM,
+        numeric=True,
+    )
+
+
+def numeric_round_result(n_devices: int, total_cores: int = 200, batch: bool = False) -> dict:
+    """One actual *numeric* round: ML training executes inside the round.
+
+    ``batch=False`` is the legacy path — one generator per device, each
+    running its own per-device SGD.  ``batch=True`` drives the same plan
+    through the wave schedule, training each wave as one stacked weight
+    matrix.  Returns the simulated round time plus the FedAvg-aggregated
+    global model, so callers can assert the fast path changed *nothing*
+    about the simulation's results.
+    """
+    nodes = [NodeSpec(cpus=20, memory_gb=30)] * (total_cores // 20)
+    cost = _sweep_cost_model(total_cores)
+    sim = Simulator()
+    logical = LogicalSimulation(
+        sim, K8sCluster(nodes), cost, streams=RandomStreams(0), batch=batch
+    )
+    plan = _numeric_sweep_plan(n_devices, total_cores)
+
+    def run():
+        start = sim.now
+        yield sim.process(logical.prepare([plan]))
+        yield sim.process(
+            logical.run_round(1, np.zeros(NUMERIC_FEATURE_DIM), 0.0, 4096, None)
+        )
+        return sim.now - start
+
+    proc = sim.process(run())
+    sim.run(batch=batch)
+    weights, biases, n_samples = logical.rounds[0].fedavg_inputs()
+    global_weights, global_bias = FedAvgPartial.from_arrays(weights, biases, n_samples).finalize()
+    logical.teardown()
+    return {
+        "round_s": proc.result,
+        "global_weights": global_weights,
+        "global_bias": global_bias,
+    }
+
+
+def measure_numeric_sweep_speedup(
+    n_devices: int, total_cores: int = 200, repeats: int = 2
+) -> dict:
+    """Wall-clock comparison of legacy vs batched *numeric* rounds.
+
+    Plain-function form so ``ci_gate.py`` can reuse it.  ``identical`` is
+    true only when both paths report the same simulated round time AND
+    bit-identical FedAvg-aggregated global weights.
+    """
+
+    def best(batch: bool) -> tuple[float, dict]:
+        walls, result = [], None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = numeric_round_result(n_devices, total_cores, batch=batch)
+            walls.append(time.perf_counter() - start)
+        return min(walls), result
+
+    legacy_wall, legacy = best(batch=False)
+    batched_wall, batched = best(batch=True)
+    identical = (
+        legacy["round_s"] == batched["round_s"]
+        and legacy["global_weights"].tobytes() == batched["global_weights"].tobytes()
+        and legacy["global_bias"] == batched["global_bias"]
+    )
+    return {
+        "n_devices": n_devices,
+        "legacy_wall_s": legacy_wall,
+        "batched_wall_s": batched_wall,
+        "legacy_round_s": legacy["round_s"],
+        "batched_round_s": batched["round_s"],
+        "batched_speedup": legacy_wall / batched_wall,
+        "identical": identical,
+    }
+
+
 def measure_sweep_speedup(n_devices: int, total_cores: int = 200, repeats: int = 2) -> dict:
     """Wall-clock comparison of the legacy vs batched/sharded sweep.
 
@@ -151,6 +261,29 @@ def test_fig8_event_driven_anchor(benchmark, persist_result):
         "fig8_event_driven_anchor",
         f"Fig. 8 anchor at n={scale}: event-driven {measured:.1f}s "
         f"vs closed-form {predicted:.1f}s",
+    )
+
+
+def test_fig8_numeric_batched_speedup(persist_result):
+    """Vectorized numeric rounds beat per-device generators at 10k devices.
+
+    The paper's Fig. 9/10-style federated sweeps execute the ML round
+    inside the simulator; this is the workload the batched numeric path
+    exists for.  The gate demands >=3x at 10k devices with *zero* change
+    to simulated results (round time and aggregated global weights are
+    compared bit-for-bit against the generator path).
+    """
+    scale = 10_000
+    stats = measure_numeric_sweep_speedup(scale)
+    assert stats["identical"], "batched numeric path changed the simulated results"
+    assert stats["batched_speedup"] >= 3.0
+    persist_result(
+        "fig8_numeric_batched_speedup",
+        f"Fig. 8 numeric sweep at n={scale} (simulated round "
+        f"{stats['legacy_round_s']:.1f}s, results bit-identical)\n"
+        f"  legacy per-device generators : {stats['legacy_wall_s'] * 1e3:7.1f} ms\n"
+        f"  batched stacked waves        : {stats['batched_wall_s'] * 1e3:7.1f} ms "
+        f"({stats['batched_speedup']:.1f}x, target >=3x)",
     )
 
 

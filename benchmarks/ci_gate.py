@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """CI benchmark-regression gate.
 
-Runs the kernel-throughput and Fig. 8 scalability benchmarks at reduced
-scale, writes the measurements to ``BENCH_ci.json``, and fails (exit 1)
+Runs the kernel-throughput and Fig. 8 scalability benchmarks (time-only
+and numeric variants) at reduced scale, writes the measurements to
+``BENCH_ci.json``, and fails (exit 1)
 when any gated metric regresses more than ``--tolerance`` (default 20%)
 against the committed baseline ``benchmarks/baseline_ci.json``.
 
@@ -29,7 +30,10 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 sys.path.insert(0, str(BENCH_DIR))
 
-from bench_fig8_scalability import measure_sweep_speedup  # noqa: E402
+from bench_fig8_scalability import (  # noqa: E402
+    measure_numeric_sweep_speedup,
+    measure_sweep_speedup,
+)
 from bench_kernel_throughput import measure_throughputs  # noqa: E402
 
 #: Metrics checked against the committed baseline (20% tolerance after
@@ -49,12 +53,14 @@ BASELINE_METRICS = (
 RATIO_FLOORS = {
     "sweep_batched_speedup": 3.0,
     "sweep_best_speedup": 5.0,
+    "sweep_numeric_speedup": 3.0,
 }
 
 GATED_METRICS = BASELINE_METRICS + tuple(RATIO_FLOORS)
 
 CI_EVENT_SCALE = 50_000
 CI_SWEEP_SCALE = 20_000
+CI_NUMERIC_SCALE = 10_000
 
 
 def calibration_score(repeats: int = 3) -> float:
@@ -78,16 +84,19 @@ def run_benchmarks() -> dict:
     calibration = calibration_score()
     kernel = measure_throughputs(CI_EVENT_SCALE)
     sweep = measure_sweep_speedup(CI_SWEEP_SCALE)
+    numeric = measure_numeric_sweep_speedup(CI_NUMERIC_SCALE)
     return {
         "calibration_ops_per_sec": calibration,
         "kernel": kernel,
         "sweep": sweep,
+        "numeric_sweep": numeric,
         "gated": {
             "calibrated_events_legacy": kernel["events_per_sec_legacy"] / calibration,
             "calibrated_events_batched": kernel["events_per_sec_batched"] / calibration,
             "calibrated_events_pooled": kernel["events_per_sec_pooled"] / calibration,
             "sweep_batched_speedup": sweep["batched_speedup"],
             "sweep_best_speedup": sweep["best_speedup"],
+            "sweep_numeric_speedup": numeric["batched_speedup"],
         },
     }
 
@@ -129,7 +138,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    print(f"Running CI benchmarks (events={CI_EVENT_SCALE}, sweep={CI_SWEEP_SCALE}) ...")
+    print(
+        f"Running CI benchmarks (events={CI_EVENT_SCALE}, sweep={CI_SWEEP_SCALE}, "
+        f"numeric={CI_NUMERIC_SCALE}) ..."
+    )
     results = run_benchmarks()
     args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
     print(f"Wrote {args.output}")
@@ -140,6 +152,9 @@ def main(argv: list[str] | None = None) -> int:
     sweep = results["sweep"]
     if not (sweep["batched_round_s"] == sweep["legacy_round_s"] == sweep["sharded4_round_s"]):
         print("FAIL: batched/sharded sweep changed the simulated round time")
+        return 1
+    if not results["numeric_sweep"]["identical"]:
+        print("FAIL: batched numeric sweep changed the simulated results")
         return 1
 
     if args.update_baseline:

@@ -134,7 +134,6 @@ class FederatedScopeLikeSimulator:
         """Cost components for one round over ``n_devices`` clients."""
         if n_devices <= 0:
             raise ValueError("n_devices must be positive")
-        per_client = self.client_train_s + self.client_comm_s
         return RoundCostBreakdown(
             setup=self.startup_s,
             compute=n_devices * self.client_train_s / self.instance_cores,

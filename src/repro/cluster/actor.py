@@ -159,6 +159,10 @@ class SimActor:
             raise RuntimeError(
                 f"device {assignment.device_id} has no dataset but the run is numeric"
             )
+        # The shuffling stream is keyed by *device*, never by actor or
+        # shard: which actor slot (or worker process) happens to simulate a
+        # device is an execution detail, and seeded results must not change
+        # when the batched or sharded fast paths re-partition the plan.
         context = OperatorContext(
             device_id=assignment.device_id,
             grade=assignment.grade,
@@ -168,7 +172,7 @@ class SimActor:
             global_weights=global_weights,
             global_bias=global_bias,
             round_index=round_index,
-            rng=self.streams.get(f"actor.{self.actor_id}.{assignment.device_id}"),
+            rng=self.streams.get(f"device.{assignment.device_id}.sgd"),
         )
         flow.execute(context)
         return context.outputs.get("update")

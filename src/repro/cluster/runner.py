@@ -20,7 +20,8 @@ from repro.cluster.cost import LogicalCostModel
 from repro.cluster.placement import PlacementGroup, PlacementStrategy
 from repro.cluster.resources import ResourceBundle
 from repro.ml.backends import SERVER_BACKEND, NumericBackend
-from repro.ml.operators import OperatorFlow
+from repro.ml.fedavg import ModelUpdate
+from repro.ml.operators import BlockOperatorContext, OperatorFlow
 from repro.simkernel import AllOf, RandomStreams, Signal, Simulator, Timeout, TimeoutPool
 
 
@@ -85,25 +86,64 @@ class GradeExecutionPlan:
         return self._dataset_bytes
 
 
+def _package_update(
+    plan: "GradeExecutionPlan",
+    round_index: int,
+    assignment: DeviceAssignment,
+    weights_row: np.ndarray,
+    bias: float,
+) -> ModelUpdate:
+    """Package one device's trained row exactly as the generator path does."""
+    return ModelUpdate(
+        device_id=assignment.device_id,
+        round_index=round_index,
+        weights=weights_row.copy(),
+        bias=float(bias),
+        n_samples=assignment.n_samples,
+        metadata={"grade": plan.grade, "backend": plan.backend.name},
+    )
+
+
 @dataclass
 class ColumnarOutcomes:
-    """Outcomes of one time-only plan stored as arrays, not objects.
+    """Outcomes of one batched plan stored as arrays, not objects.
 
     The batched fast path records a whole plan's round as one block:
     ``finished_at[pos]`` is the upload-completion time of the device
     ``plan.assignments[pos]`` (emission position equals assignment index
-    under the wave-major round-robin layout).  Blocks materialize to
-    :class:`DeviceRoundOutcome` objects lazily — the 100k scalability
-    sweeps never pay for 100k dataclass constructions.
+    under the wave-major round-robin layout).  Numeric plans additionally
+    carry the stacked model updates (``update_weights[pos]`` /
+    ``update_biases[pos]``), which is what per-shard FedAvg partials fold
+    without ever constructing :class:`~repro.ml.fedavg.ModelUpdate`
+    objects.  Blocks materialize to :class:`DeviceRoundOutcome` objects
+    lazily — the 100k scalability sweeps never pay for 100k dataclass
+    constructions.
     """
 
     plan: "GradeExecutionPlan"
     round_index: int
     payload_bytes: int
     finished_at: np.ndarray
+    update_weights: Optional[np.ndarray] = None  # (n_devices, feature_dim)
+    update_biases: Optional[np.ndarray] = None  # (n_devices,)
 
     def __len__(self) -> int:
         return len(self.finished_at)
+
+    def n_samples_array(self) -> np.ndarray:
+        """Per-device FedAvg sample counts, in block (assignment) order."""
+        return np.array([a.n_samples for a in self.plan.assignments], dtype=np.int64)
+
+    def _update_at(self, position: int) -> Optional[ModelUpdate]:
+        if self.update_weights is None or self.update_biases is None:
+            return None
+        return _package_update(
+            self.plan,
+            self.round_index,
+            self.plan.assignments[position],
+            self.update_weights[position],
+            self.update_biases[position],
+        )
 
     def materialize(self) -> list[DeviceRoundOutcome]:
         """Build the outcome objects in emission (chronological) order."""
@@ -114,10 +154,12 @@ class ColumnarOutcomes:
                 round_index=self.round_index,
                 n_samples=assignment.n_samples,
                 payload_bytes=self.payload_bytes,
-                update=None,
+                update=self._update_at(position),
                 finished_at=float(time),
             )
-            for assignment, time in zip(self.plan.assignments, self.finished_at)
+            for position, (assignment, time) in enumerate(
+                zip(self.plan.assignments, self.finished_at)
+            )
         ]
 
 
@@ -169,12 +211,44 @@ class RoundResult:
         """Bytes uploaded this round, without materializing columnar blocks.
 
         Eager outcomes carry their true per-device payload (numeric runs
-        report the model update's size); columnar blocks are time-only, so
-        every device uploaded the block's fixed payload.
+        report the model update's size); columnar blocks are
+        grade-homogeneous, so every device uploaded the block's fixed
+        payload (the model-update size for numeric plans).
         """
         total = sum(o.payload_bytes for o in self.outcomes)
         total += sum(len(block) * block.payload_bytes for block in self.columnar)
         return total
+
+    def fedavg_inputs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar ``(weights, biases, n_samples)`` of every numeric update.
+
+        Concatenates eager outcomes' updates with numeric columnar blocks'
+        stacked arrays — the input
+        :meth:`repro.ml.fedavg.FedAvgPartial.from_arrays` folds without
+        materializing update objects.  Returns empty arrays when the round
+        produced no updates.
+        """
+        weight_parts: list[np.ndarray] = []
+        bias_parts: list[np.ndarray] = []
+        sample_parts: list[np.ndarray] = []
+        eager = [o.update for o in self.outcomes if o.update is not None]
+        if eager:
+            weight_parts.append(np.stack([u.weights for u in eager]))
+            bias_parts.append(np.array([u.bias for u in eager], dtype=np.float64))
+            sample_parts.append(np.array([u.n_samples for u in eager], dtype=np.int64))
+        for block in self.columnar:
+            if block.update_weights is not None and block.update_biases is not None:
+                weight_parts.append(block.update_weights)
+                bias_parts.append(block.update_biases)
+                sample_parts.append(block.n_samples_array())
+        if not weight_parts:
+            empty = np.empty(0, dtype=np.float64)
+            return np.empty((0, 0), dtype=np.float64), empty, np.empty(0, dtype=np.int64)
+        return (
+            np.concatenate(weight_parts),
+            np.concatenate(bias_parts),
+            np.concatenate(sample_parts),
+        )
 
 
 class LogicalSimulation:
@@ -241,7 +315,6 @@ class LogicalSimulation:
                 for i in range(plan.n_actors)
             ]
             self.actors[plan.grade] = actors
-            shard_bytes = self.cost_model.waves(len(plan.assignments), plan.n_actors)
             per_actor_bytes = plan.dataset_bytes() // max(1, plan.n_actors)
             for actor in actors:
                 startups.append(
@@ -250,7 +323,6 @@ class LogicalSimulation:
                         name=f"{actor.actor_id}.startup",
                     )
                 )
-            del shard_bytes  # staging cost is uniform per actor
         yield AllOf(startups)
 
     def _start_actor(self, actor: SimActor, data_bytes: int) -> Generator:
@@ -287,7 +359,12 @@ class LogicalSimulation:
         actor_processes = []
         batched_plans: list[GradeExecutionPlan] = []
         for plan in self.plans:
-            if self.batch and not plan.numeric:
+            # Per-plan choice: time-only plans always qualify for the
+            # batched wave schedule; numeric plans qualify when every
+            # operator in their flow has a vectorized block implementation
+            # (custom operators without one fall back to the generator
+            # path, so mixed rounds batch exactly the plans they can).
+            if self.batch and (not plan.numeric or plan.flow.supports_block):
                 batched_plans.append(plan)
                 continue
             queues = self._partition(plan.assignments, plan.n_actors)
@@ -321,7 +398,14 @@ class LogicalSimulation:
 
             for plan in batched_plans:
                 self._register_batched_plan(
-                    plan, round_index, model_bytes, result, collect if on_outcome is not None else None, plan_done
+                    plan,
+                    round_index,
+                    global_weights,
+                    global_bias,
+                    model_bytes,
+                    result,
+                    collect if on_outcome is not None else None,
+                    plan_done,
                 )
             barriers.append(batched_done)
         if barriers:
@@ -330,16 +414,83 @@ class LogicalSimulation:
         self.rounds.append(result)
         return result
 
+    def _execute_numeric_waves(
+        self,
+        plan: GradeExecutionPlan,
+        round_index: int,
+        global_weights: Optional[np.ndarray],
+        global_bias: float,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Run a numeric plan's flow as stacked per-wave blocks.
+
+        Wave ``w`` executes devices ``assignments[w * n_actors : (w + 1) *
+        n_actors]`` as one :class:`BlockOperatorContext` — a stacked
+        ``(wave_size, feature_dim)`` weight matrix refined by the flow's
+        vectorized operators.  Flow execution consumes no simulated time
+        (exactly like the generator path, where the math runs eagerly
+        between two timeouts), and each device draws from its own named
+        random stream, so wave grouping cannot perturb results.
+
+        Returns ``(update_weights, update_biases, payload_bytes)`` stacked
+        over the whole plan in assignment order; the weight array is empty
+        when the flow produces no uploads, and ``payload_bytes`` is then
+        the broadcast model size.
+        """
+        if global_weights is None:
+            raise RuntimeError(
+                f"device {plan.assignments[0].device_id}: global model was not "
+                "staged before the flow ran"
+            )
+        for assignment in plan.assignments:
+            if assignment.dataset is None:
+                raise RuntimeError(
+                    f"device {assignment.device_id} has no dataset but the run is numeric"
+                )
+        total = len(plan.assignments)
+        n_actors = len(self.actors[plan.grade])
+        update_weights = np.empty((total, plan.feature_dim), dtype=np.float64)
+        update_biases = np.empty(total, dtype=np.float64)
+        has_updates = True
+        payload = 0
+        for start in range(0, total, n_actors):
+            wave = plan.assignments[start : start + n_actors]
+            block = BlockOperatorContext(
+                device_ids=[a.device_id for a in wave],
+                grade=plan.grade,
+                datasets=[a.dataset for a in wave],
+                feature_dim=plan.feature_dim,
+                backend=plan.backend,
+                global_weights=global_weights,
+                global_bias=global_bias,
+                round_index=round_index,
+                rngs=[self.streams.get(f"device.{a.device_id}.sgd") for a in wave],
+            )
+            plan.flow.execute_block(block)
+            wave_weights = block.outputs.get("update_weights")
+            if wave_weights is None:
+                has_updates = False
+                continue
+            update_weights[start : start + len(wave)] = wave_weights
+            update_biases[start : start + len(wave)] = block.outputs["update_biases"]
+            if payload == 0:
+                # Mirrors ModelUpdate.payload_bytes(): weights + bias + envelope.
+                payload = int(wave_weights[0].nbytes + 8 + 64)
+        if not has_updates:
+            return np.empty((0, plan.feature_dim)), np.empty(0), 0
+        return update_weights, update_biases, payload
+
     def _register_batched_plan(
         self,
         plan: GradeExecutionPlan,
         round_index: int,
+        global_weights: Optional[np.ndarray],
+        global_bias: float,
         model_bytes: int,
         result: RoundResult,
         collect: Optional[Callable[[DeviceRoundOutcome], None]],
         plan_done: Callable[[], None],
     ) -> None:
-        """Register one time-only plan's whole round in the timeout pool.
+        """Register one batched plan's whole round in the timeout pool.
 
         Plans are grade-homogeneous (enforced at construction), so every
         actor advances through identical waves: the whole round reduces to
@@ -350,12 +501,18 @@ class LogicalSimulation:
         wave ``w``, actor ``a`` holds ``assignments[w * n_actors + a]``
         under the round-robin partition.
 
+        Numeric plans run their ML round here as well: client updates are
+        evaluated in stacked per-wave blocks
+        (:meth:`_execute_numeric_waves`) and the result-upload leg of the
+        cumsum uses the model-update payload, exactly as the generator
+        path pays ``transfer_duration(update.payload_bytes())`` per device.
+
         With a ``collect`` callback the sequence drains wave by wave,
         emitting outcomes in the generator path's order; without one the
         entire plan becomes a single pooled deadline at its last completion
         time plus a columnar block — no per-device objects, no per-device
-        events, and (in sharded workers) no touching of the assignment
-        list's elements at all.
+        events, and (in sharded workers) no per-device Python at all beyond
+        the vectorized wave math.
         """
         total = len(plan.assignments)
         if total == 0:
@@ -365,12 +522,23 @@ class LogicalSimulation:
         n_actors = len(actors)
         cost = self.cost_model
         duration = cost.device_round_duration(plan.grade, plan.flow.total_work)
+        update_weights: Optional[np.ndarray] = None
+        update_biases: Optional[np.ndarray] = None
+        upload_bytes = model_bytes
+        if plan.numeric:
+            update_weights, update_biases, payload = self._execute_numeric_waves(
+                plan, round_index, global_weights, global_bias
+            )
+            if len(update_weights):
+                upload_bytes = payload
+            else:
+                update_weights = update_biases = None
         waves = -(-total // n_actors)
         steps = np.empty(2 * waves + 2, dtype=np.float64)
         steps[0] = self.sim.now
         steps[1] = cost.transfer_duration(model_bytes)  # per-round model download
         steps[2::2] = duration
-        steps[3::2] = cost.transfer_duration(model_bytes)  # per-device result upload
+        steps[3::2] = cost.transfer_duration(upload_bytes)  # per-device result upload
         wave_times = np.cumsum(steps)[3::2]
         full_waves, remainder = divmod(total, n_actors)
         counts = np.full(waves, n_actors, dtype=np.int64)
@@ -388,8 +556,10 @@ class LogicalSimulation:
                     ColumnarOutcomes(
                         plan=plan,
                         round_index=round_index,
-                        payload_bytes=model_bytes,
+                        payload_bytes=upload_bytes,
                         finished_at=merged,
+                        update_weights=update_weights,
+                        update_biases=update_biases,
                     )
                 )
                 count_completions()
@@ -404,14 +574,19 @@ class LogicalSimulation:
             for pos in range(lo, hi):
                 assignment = assignments[pos]
                 actors[pos % n_actors].devices_completed += 1
+                update = None
+                if update_weights is not None and update_biases is not None:
+                    update = _package_update(
+                        plan, round_index, assignment, update_weights[pos], update_biases[pos]
+                    )
                 collect(
                     DeviceRoundOutcome(
                         device_id=assignment.device_id,
                         grade=assignment.grade,
                         round_index=round_index,
                         n_samples=assignment.n_samples,
-                        payload_bytes=model_bytes,
-                        update=None,
+                        payload_bytes=upload_bytes,
+                        update=update,
                         finished_at=float(merged[pos]),
                     )
                 )

@@ -10,11 +10,12 @@ floating-point precision and accumulation order, producing the small
 """
 
 from repro.ml.backends import DEVICE_BACKEND, SERVER_BACKEND, NumericBackend
-from repro.ml.client import FLClient
-from repro.ml.fedavg import FedAvgAggregator, ModelUpdate, fedavg
-from repro.ml.metrics import accuracy, log_loss, roc_auc
+from repro.ml.client import BlockTrainer, FLClient
+from repro.ml.fedavg import FedAvgAggregator, FedAvgPartial, ModelUpdate, fedavg
+from repro.ml.metrics import accuracy, block_metrics, log_loss, roc_auc
 from repro.ml.model import LogisticRegressionModel
 from repro.ml.operators import (
+    BlockOperatorContext,
     DownloadModelOp,
     EvalOp,
     Operator,
@@ -28,11 +29,14 @@ from repro.ml.optimizer import SGD
 from repro.ml.server import RoundRecord, SynchronousTrainer
 
 __all__ = [
+    "BlockOperatorContext",
+    "BlockTrainer",
     "DEVICE_BACKEND",
     "DownloadModelOp",
     "EvalOp",
     "FLClient",
     "FedAvgAggregator",
+    "FedAvgPartial",
     "LogisticRegressionModel",
     "ModelUpdate",
     "NumericBackend",
@@ -46,6 +50,7 @@ __all__ = [
     "TrainOp",
     "UploadUpdateOp",
     "accuracy",
+    "block_metrics",
     "fedavg",
     "log_loss",
     "roc_auc",

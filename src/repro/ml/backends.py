@@ -64,6 +64,31 @@ class NumericBackend:
             scores = (scores + gathered[:, column]).astype(self.dtype)
         return (scores + self.dtype.type(bias)).astype(self.dtype)
 
+    def gather_scores_block(
+        self, weights: np.ndarray, biases: np.ndarray, features: np.ndarray
+    ) -> np.ndarray:
+        """Stacked :meth:`gather_scores` over a block of devices.
+
+        ``weights`` is ``(n_devices, dim)``, ``biases`` ``(n_devices,)``
+        and ``features`` ``(n_devices, n_records, n_fields)``; the result
+        is ``(n_devices, n_records)``.  Every floating-point operation is
+        elementwise over the device axis in the same per-device order as
+        :meth:`gather_scores`, so each row is bit-identical to a scalar
+        call with that device's weights.
+        """
+        n_devices, n_records, n_fields = features.shape
+        working = self.cast(weights)
+        gathered = np.take_along_axis(
+            working, features.reshape(n_devices, n_records * n_fields), axis=1
+        ).reshape(features.shape)
+        if self.reverse_reduction:
+            gathered = gathered[:, :, ::-1]
+        scores = np.zeros((n_devices, n_records), dtype=self.dtype)
+        for column in range(gathered.shape[2]):
+            scores = (scores + gathered[:, :, column]).astype(self.dtype)
+        cast_biases = np.asarray(biases).astype(self.dtype)
+        return (scores + cast_biases[:, None]).astype(self.dtype)
+
     def sigmoid(self, z: np.ndarray) -> np.ndarray:
         """Numerically-stable logistic function in backend precision."""
         z = self.cast(z)

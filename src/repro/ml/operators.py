@@ -17,7 +17,9 @@ import numpy as np
 
 from repro.data.avazu import DeviceDataset
 from repro.ml.backends import SERVER_BACKEND, NumericBackend
+from repro.ml.client import BlockTrainer
 from repro.ml.fedavg import ModelUpdate
+from repro.ml.metrics import block_metrics
 from repro.ml.model import LogisticRegressionModel
 
 
@@ -57,20 +59,69 @@ class OperatorContext:
     outputs: dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class BlockOperatorContext:
+    """Mutable state threaded through one *block's* vectorized execution.
+
+    A block is one wave of the batched logical tier: every device in it
+    shares the grade, backend and global model, so operators can act on
+    stacked arrays instead of per-device objects.  Block-capable operators
+    read and write:
+
+    * ``outputs["weights"]`` / ``outputs["biases"]`` — the stacked
+      ``(n_devices, feature_dim)`` / ``(n_devices,)`` working parameters;
+    * ``outputs["update_weights"]`` / ``outputs["update_biases"]`` — the
+      packaged per-device results (columnar stand-in for
+      ``OperatorContext.outputs["update"]``);
+    * ``outputs["local_metrics"]`` — per-device metric dicts in block order.
+    """
+
+    device_ids: list[str]
+    grade: str
+    datasets: list[DeviceDataset]
+    feature_dim: int
+    backend: NumericBackend = SERVER_BACKEND
+    global_weights: Optional[np.ndarray] = None
+    global_bias: float = 0.0
+    round_index: int = 1
+    rngs: Optional[list[Optional[np.random.Generator]]] = None
+    outputs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.device_ids) != len(self.datasets):
+            raise ValueError("device_ids and datasets must align")
+
+    def __len__(self) -> int:
+        return len(self.device_ids)
+
+
 class Operator:
     """Base class of user-definable operators.
 
     Subclasses set :attr:`name`, declare :attr:`work` (abstract cost units;
     1.0 ~ one local training epoch over an average shard) and implement
-    :meth:`apply`.
+    :meth:`apply`.  Operators that can also execute a whole wave of devices
+    against stacked arrays additionally implement :meth:`apply_block` and
+    set :attr:`supports_block`; flows whose operators all do so qualify for
+    the logical tier's vectorized numeric fast path.
     """
 
     name: str = "operator"
     work: float = 0.0
+    supports_block: bool = False
 
     def apply(self, context: OperatorContext) -> None:
         """Execute the operator's effect against the context."""
         raise NotImplementedError
+
+    def apply_block(self, block: BlockOperatorContext) -> None:
+        """Execute the operator against a whole block at once.
+
+        Must be bit-identical, per device, to :meth:`apply` over the
+        equivalent :class:`OperatorContext`.  Only called when
+        :attr:`supports_block` is true.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no block implementation")
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(work={self.work})"
@@ -85,6 +136,7 @@ class DownloadModelOp(Operator):
 
     name = "download_model"
     work = 0.1
+    supports_block = True
 
     def apply(self, context: OperatorContext) -> None:
         if context.global_weights is None:
@@ -93,6 +145,17 @@ class DownloadModelOp(Operator):
             )
         context.outputs["model"] = LogisticRegressionModel(context.feature_dim, context.backend)
         context.outputs["model"].set_params(context.global_weights, context.global_bias)
+
+    def apply_block(self, block: BlockOperatorContext) -> None:
+        if block.global_weights is None:
+            raise RuntimeError(
+                f"device {block.device_ids[0]}: global model was not staged before the flow ran"
+            )
+        weights = np.asarray(block.global_weights, dtype=np.float64)
+        if weights.shape != (block.feature_dim,):
+            raise ValueError(f"weights shape {weights.shape} != ({block.feature_dim},)")
+        block.outputs["weights"] = np.tile(weights, (len(block), 1))
+        block.outputs["biases"] = np.full(len(block), float(block.global_bias), dtype=np.float64)
 
 
 class TrainOp(Operator):
@@ -108,6 +171,8 @@ class TrainOp(Operator):
         self.batch_size = int(batch_size)
         self.work = float(epochs)
 
+    supports_block = True
+
     def apply(self, context: OperatorContext) -> None:
         model = context.outputs.get("model")
         if model is None:
@@ -121,12 +186,28 @@ class TrainOp(Operator):
             rng=context.rng,
         )
 
+    def apply_block(self, block: BlockOperatorContext) -> None:
+        weights = block.outputs.get("weights")
+        if weights is None:
+            raise RuntimeError("TrainOp requires DownloadModelOp earlier in the flow")
+        trainer = BlockTrainer(
+            block.feature_dim,
+            block.backend,
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+        )
+        block.outputs["weights"], block.outputs["biases"] = trainer.train(
+            weights, block.outputs["biases"], block.datasets, block.rngs
+        )
+
 
 class EvalOp(Operator):
     """Evaluate the current model on the local shard."""
 
     name = "evaluate"
     work = 0.2
+    supports_block = True
 
     def apply(self, context: OperatorContext) -> None:
         model = context.outputs.get("model")
@@ -135,6 +216,26 @@ class EvalOp(Operator):
         context.outputs["local_metrics"] = model.evaluate(
             context.dataset.features, context.dataset.labels
         )
+
+    def apply_block(self, block: BlockOperatorContext) -> None:
+        weights = block.outputs.get("weights")
+        if weights is None:
+            raise RuntimeError("EvalOp requires DownloadModelOp earlier in the flow")
+        biases = block.outputs["biases"]
+        groups: dict[int, list[int]] = {}
+        for position, dataset in enumerate(block.datasets):
+            groups.setdefault(dataset.n_samples, []).append(position)
+        results: list[Optional[dict[str, float]]] = [None] * len(block)
+        for positions in groups.values():
+            features = np.stack([block.datasets[i].features for i in positions])
+            labels = np.stack([block.datasets[i].labels for i in positions])
+            scores = block.backend.gather_scores_block(
+                weights[positions], biases[positions], features
+            )
+            probabilities = block.backend.sigmoid(scores).astype(np.float64)
+            for position, row_metrics in zip(positions, block_metrics(labels, probabilities)):
+                results[position] = row_metrics
+        block.outputs["local_metrics"] = results
 
 
 class UploadUpdateOp(Operator):
@@ -146,6 +247,7 @@ class UploadUpdateOp(Operator):
 
     name = "upload_update"
     work = 0.1
+    supports_block = True
 
     def apply(self, context: OperatorContext) -> None:
         model = context.outputs.get("model")
@@ -159,6 +261,17 @@ class UploadUpdateOp(Operator):
             bias=bias,
             n_samples=context.dataset.n_samples,
             metadata={"grade": context.grade, "backend": context.backend.name},
+        )
+
+    def apply_block(self, block: BlockOperatorContext) -> None:
+        weights = block.outputs.get("weights")
+        if weights is None:
+            raise RuntimeError("UploadUpdateOp requires a trained model in the flow")
+        # Columnar counterpart of outputs["update"]: stacked copies so later
+        # operators mutating the working parameters can't corrupt uploads.
+        block.outputs["update_weights"] = np.array(weights, dtype=np.float64, copy=True)
+        block.outputs["update_biases"] = np.array(
+            block.outputs["biases"], dtype=np.float64, copy=True
         )
 
 
@@ -184,11 +297,31 @@ class OperatorFlow:
         """Sum of operator work units — the tier cost models scale this."""
         return sum(op.work for op in self.operators)
 
+    @property
+    def supports_block(self) -> bool:
+        """Whether every operator can execute stacked device blocks."""
+        return all(op.supports_block for op in self.operators)
+
     def execute(self, context: OperatorContext) -> OperatorContext:
         """Run every operator in order against ``context``."""
         for op in self.operators:
             op.apply(context)
         return context
+
+    def execute_block(self, block: BlockOperatorContext) -> BlockOperatorContext:
+        """Run every operator in order against a stacked device block.
+
+        Raises ``RuntimeError`` when an operator lacks a block
+        implementation — callers gate on :attr:`supports_block` and fall
+        back to per-device :meth:`execute` otherwise.
+        """
+        for op in self.operators:
+            if not op.supports_block:
+                raise RuntimeError(
+                    f"operator {op.name!r} does not support block execution"
+                )
+            op.apply_block(block)
+        return block
 
     def describe(self) -> list[str]:
         """Operator names in order (for task specs and monitoring)."""

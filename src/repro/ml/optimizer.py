@@ -93,3 +93,74 @@ class SGD:
         for _ in range(epochs):
             weights, bias = self.run_epoch(weights, bias, features, labels, rng=rng, backend=backend)
         return weights, bias
+
+    def run_epochs_block(
+        self,
+        weights: np.ndarray,
+        biases: np.ndarray,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int,
+        rngs: Optional[list[Optional[np.random.Generator]]] = None,
+        backend: NumericBackend = SERVER_BACKEND,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Train a stacked block of devices in lock-step.
+
+        ``weights`` is ``(n_devices, dim)``, ``biases`` ``(n_devices,)``,
+        ``features`` ``(n_devices, n_records, n_fields)`` and ``labels``
+        ``(n_devices, n_records)`` — every device in the block holds the
+        same number of records, which is what lets the whole mini-batch
+        loop run as a handful of array operations per step instead of a
+        Python loop per device.
+
+        Device ``d``'s result is bit-identical to
+        ``run_epochs(weights[d], biases[d], features[d], labels[d], ...,
+        rng=rngs[d])``: shuffles come from the same per-device generators
+        in the same order, the forward pass reduces field-by-field in the
+        backend's precision exactly as the scalar path does, and the
+        scatter-add accumulates each device's gradient contributions in
+        the same element order (devices occupy disjoint slices of one flat
+        gradient buffer).
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if features.ndim != 3:
+            raise ValueError("features must be 3-D (devices x records x fields)")
+        if features.shape[:2] != labels.shape:
+            raise ValueError("features and labels must align")
+        n_devices, n_records, n_fields = features.shape
+        weights = np.array(weights, dtype=np.float64, copy=True)
+        biases = np.array(biases, dtype=np.float64, copy=True)
+        if n_records == 0 or n_devices == 0:
+            return weights, biases
+        dim = weights.shape[1]
+        row_offsets = (np.arange(n_devices, dtype=np.intp) * dim)[:, None]
+        for _ in range(epochs):
+            if rngs is None:
+                orders = np.broadcast_to(np.arange(n_records), (n_devices, n_records))
+            else:
+                orders = np.stack(
+                    [
+                        rng.permutation(n_records) if rng is not None else np.arange(n_records)
+                        for rng in rngs
+                    ]
+                )
+            for start in range(0, n_records, self.batch_size):
+                batch = orders[:, start : start + self.batch_size]
+                batch_features = np.take_along_axis(features, batch[:, :, None], axis=1)
+                batch_labels = np.take_along_axis(labels, batch, axis=1).astype(np.float64)
+                scores = backend.gather_scores_block(weights, biases, batch_features)
+                probabilities = backend.sigmoid(scores).astype(np.float64)
+                errors = probabilities - batch_labels  # (n_devices, batch)
+                # One flat scatter-add; device d's contributions land in its
+                # own dim-sized slice, in the scalar path's element order.
+                gradient = np.zeros(n_devices * dim, dtype=np.float64)
+                flat_indices = (batch_features.reshape(n_devices, -1) + row_offsets).ravel()
+                np.add.at(gradient, flat_indices, np.repeat(errors, n_fields, axis=1).ravel())
+                gradient = gradient.reshape(n_devices, dim)
+                gradient /= batch.shape[1]
+                if self.l2 > 0.0:
+                    gradient += self.l2 * weights
+                weights -= self.learning_rate * gradient
+                biases -= self.learning_rate * errors.mean(axis=1)
+        return weights, biases

@@ -114,14 +114,17 @@ class TestBatchedRoundIdentity:
 
 
 class TestPartitionPlans:
-    def test_contiguous_blocks_and_actor_split(self):
+    def test_wave_aligned_actor_split(self):
         plan = make_plan(10, n_actors=6)
         shards = partition_plans([plan], 4)
-        sizes = [len(s[0].assignments) for s in shards]
-        assert sizes == [3, 3, 2, 2]
         assert [s[0].n_actors for s in shards] == [2, 2, 1, 1]
-        # Contiguity: shard 1 continues where shard 0 stopped.
-        assert shards[0][0].assignments[-1].device_id < shards[1][0].assignments[0].device_id
+        # Wave alignment: shard s holds, per wave, the devices of its actor
+        # slots — shard 0 owns slots {0, 1}, so waves contribute positions
+        # {0, 1} and {6, 7}.
+        assert [a.device_id for a in shards[0][0].assignments] == [
+            "d00000", "d00001", "d00006", "d00007"
+        ]
+        assert [a.device_id for a in shards[2][0].assignments] == ["d00004"]
         # Every device appears exactly once.
         ids = [a.device_id for s in shards for a in s[0].assignments]
         assert sorted(ids) == [a.device_id for a in plan.assignments]

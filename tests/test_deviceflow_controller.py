@@ -1,6 +1,5 @@
 """Tests for DeviceFlow's sorter, shelf, dispatcher and strategies."""
 
-import numpy as np
 import pytest
 
 from repro.deviceflow import (

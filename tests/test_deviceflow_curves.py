@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.deviceflow import (
     TABLE2_CURVES,
     TrafficCurve,
-    cos_plus_one,
     discretize_curve,
     exponential_curve,
     gaussian_pdf,

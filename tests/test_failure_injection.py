@@ -5,7 +5,6 @@ resources must come back, sibling tasks must be unaffected, and failures
 must surface as FAILED results rather than hangs.
 """
 
-import pytest
 
 from repro import (
     GradeRequirement,

@@ -51,9 +51,19 @@ class TestFedAvg:
         with pytest.raises(ValueError):
             fedavg([make_update("a", [1.0]), make_update("b", [1.0, 2.0])])
 
-    def test_nonpositive_samples_rejected(self):
+    def test_negative_samples_rejected(self):
         with pytest.raises(ValueError):
-            make_update("a", [1.0], n_samples=0)
+            make_update("a", [1.0], n_samples=-1)
+
+    def test_zero_sample_update_allowed_but_weightless(self):
+        # Zero-sample updates may occur (a device lost its shard mid-round)
+        # and must not move the aggregate.
+        backed = make_update("a", [2.0], n_samples=4)
+        ghost = make_update("g", [100.0], n_samples=0)
+        weights, bias = fedavg([backed, ghost])
+        assert np.allclose(weights, [2.0])
+        with pytest.raises(ValueError):
+            fedavg([ghost])  # zero total samples cannot be averaged
 
     def test_aggregator_lifecycle(self):
         aggregator = FedAvgAggregator()

@@ -12,7 +12,6 @@ from repro.phones import (
     PhoneMgr,
     PhysicalCostModel,
     SimulatedAdb,
-    TrainingApk,
     VirtualPhone,
 )
 from repro.phones.apk import ApkStage

@@ -1,6 +1,5 @@
 """End-to-end platform tests: SimDC tasks through every substrate."""
 
-import pytest
 
 from repro import (
     GradeRequirement,

@@ -1,6 +1,5 @@
 """Extended platform integration: MSP, scaling, strategies, reporting."""
 
-import pytest
 
 from repro import (
     GradeRequirement,
@@ -104,12 +103,8 @@ class TestDynamicScaling:
 
 class TestPlacementStrategies:
     def test_spread_places_across_nodes(self):
-        from repro.cluster import K8sCluster, LogicalSimulation, ResourceBundle as RB
-        from repro.cluster.runner import GradeExecutionPlan
-        from repro.cluster.actor import DeviceAssignment
-        from repro.simkernel import Simulator
+        from repro.cluster import K8sCluster, ResourceBundle as RB
 
-        sim = Simulator()
         cluster = K8sCluster([NodeSpec(8, 16)] * 4)
         group = cluster.allocate([RB(cpus=2, memory_gb=2)] * 4, PlacementStrategy.SPREAD)
         assert len(set(group.node_ids)) == 4

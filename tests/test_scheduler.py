@@ -180,8 +180,8 @@ class TestGreedyScheduler:
     def test_packs_multiple_fitting_tasks(self):
         rm = make_rm(cores=40)
         queue = TaskQueue()
-        a = queue.submit(make_spec("a", priority=2, bundles=15, n_phones=1))
-        b = queue.submit(make_spec("b", priority=1, bundles=15, n_phones=1))
+        queue.submit(make_spec("a", priority=2, bundles=15, n_phones=1))
+        queue.submit(make_spec("b", priority=1, bundles=15, n_phones=1))
         decision = GreedyTaskScheduler().plan(queue, rm.snapshot())
         assert len(decision.scheduled) == 2
 
@@ -189,7 +189,7 @@ class TestGreedyScheduler:
         """Greedy: a small low-priority task runs when the big one can't."""
         rm = make_rm(cores=20)
         queue = TaskQueue()
-        huge = queue.submit(make_spec("huge", priority=9, bundles=50, n_phones=0))
+        queue.submit(make_spec("huge", priority=9, bundles=50, n_phones=0))
         tiny = queue.submit(make_spec("tiny", priority=1, bundles=5, n_phones=0))
         decision = GreedyTaskScheduler().plan(queue, rm.snapshot())
         assert [s.task_id for s in decision.scheduled] == [tiny.task_id]
