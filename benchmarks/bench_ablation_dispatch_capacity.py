@@ -26,7 +26,7 @@ def capacity_sweep(capacities=(100.0, 300.0, 700.0, 2000.0), n_messages=10_000):
         flow = DeviceFlow(sim, streams=RandomStreams(0), capacity_per_second=capacity)
         last_arrival = {"t": 0.0}
 
-        def downstream(message, box=last_arrival):
+        def downstream(message, box=last_arrival, sim=sim):
             box["t"] = sim.now
 
         flow.register_task("cap", TimeIntervalStrategy(curve, interval), downstream)

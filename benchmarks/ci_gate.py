@@ -1,9 +1,9 @@
 #!/usr/bin/env python
 """CI benchmark-regression gate.
 
-Runs the kernel-throughput and Fig. 8 scalability benchmarks (time-only
-and numeric variants) at reduced scale, writes the measurements to
-``BENCH_ci.json``, and fails (exit 1)
+Runs the kernel-throughput, Fig. 8 scalability (time-only and numeric
+variants) and phone-tier benchmarks at reduced scale, writes the
+measurements to ``BENCH_ci.json``, and fails (exit 1)
 when any gated metric regresses more than ``--tolerance`` (default 20%)
 against the committed baseline ``benchmarks/baseline_ci.json``.
 
@@ -35,6 +35,7 @@ from bench_fig8_scalability import (  # noqa: E402
     measure_sweep_speedup,
 )
 from bench_kernel_throughput import measure_throughputs  # noqa: E402
+from bench_phone_tier import measure_phone_tier_speedup  # noqa: E402
 
 #: Metrics checked against the committed baseline (20% tolerance after
 #: on-machine calibration absorbs runner-speed differences).
@@ -54,6 +55,7 @@ RATIO_FLOORS = {
     "sweep_batched_speedup": 3.0,
     "sweep_best_speedup": 5.0,
     "sweep_numeric_speedup": 3.0,
+    "phone_batched_speedup": 3.0,
 }
 
 GATED_METRICS = BASELINE_METRICS + tuple(RATIO_FLOORS)
@@ -61,6 +63,8 @@ GATED_METRICS = BASELINE_METRICS + tuple(RATIO_FLOORS)
 CI_EVENT_SCALE = 50_000
 CI_SWEEP_SCALE = 20_000
 CI_NUMERIC_SCALE = 10_000
+CI_PHONE_SCALE = 5_000
+CI_PHONE_FLEET = 256
 
 
 def calibration_score(repeats: int = 3) -> float:
@@ -85,11 +89,13 @@ def run_benchmarks() -> dict:
     kernel = measure_throughputs(CI_EVENT_SCALE)
     sweep = measure_sweep_speedup(CI_SWEEP_SCALE)
     numeric = measure_numeric_sweep_speedup(CI_NUMERIC_SCALE)
+    phone = measure_phone_tier_speedup(CI_PHONE_SCALE, CI_PHONE_FLEET)
     return {
         "calibration_ops_per_sec": calibration,
         "kernel": kernel,
         "sweep": sweep,
         "numeric_sweep": numeric,
+        "phone_sweep": phone,
         "gated": {
             "calibrated_events_legacy": kernel["events_per_sec_legacy"] / calibration,
             "calibrated_events_batched": kernel["events_per_sec_batched"] / calibration,
@@ -97,6 +103,7 @@ def run_benchmarks() -> dict:
             "sweep_batched_speedup": sweep["batched_speedup"],
             "sweep_best_speedup": sweep["best_speedup"],
             "sweep_numeric_speedup": numeric["batched_speedup"],
+            "phone_batched_speedup": phone["batched_speedup"],
         },
     }
 
@@ -140,7 +147,7 @@ def main(argv: list[str] | None = None) -> int:
 
     print(
         f"Running CI benchmarks (events={CI_EVENT_SCALE}, sweep={CI_SWEEP_SCALE}, "
-        f"numeric={CI_NUMERIC_SCALE}) ..."
+        f"numeric={CI_NUMERIC_SCALE}, phone={CI_PHONE_SCALE}) ..."
     )
     results = run_benchmarks()
     args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
@@ -155,6 +162,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not results["numeric_sweep"]["identical"]:
         print("FAIL: batched numeric sweep changed the simulated results")
+        return 1
+    if not results["phone_sweep"]["identical"]:
+        print("FAIL: wave-scheduled phone tier changed the simulated results")
         return 1
 
     if args.update_baseline:

@@ -86,7 +86,7 @@ class GradeExecutionPlan:
         return self._dataset_bytes
 
 
-def _package_update(
+def package_update(
     plan: "GradeExecutionPlan",
     round_index: int,
     assignment: DeviceAssignment,
@@ -137,7 +137,7 @@ class ColumnarOutcomes:
     def _update_at(self, position: int) -> Optional[ModelUpdate]:
         if self.update_weights is None or self.update_biases is None:
             return None
-        return _package_update(
+        return package_update(
             self.plan,
             self.round_index,
             self.plan.assignments[position],
@@ -146,7 +146,13 @@ class ColumnarOutcomes:
         )
 
     def materialize(self) -> list[DeviceRoundOutcome]:
-        """Build the outcome objects in emission (chronological) order."""
+        """Build the outcome objects in block (assignment) order.
+
+        For logical-tier plans this is also chronological (one shared wave
+        clock); phone-tier plans stage per-device push bytes, so completion
+        times across phones need not be sorted — sort on ``finished_at`` if
+        chronology matters.
+        """
         return [
             DeviceRoundOutcome(
                 device_id=assignment.device_id,
@@ -178,6 +184,9 @@ class RoundResult:
     columnar: list[ColumnarOutcomes] = field(default_factory=list)
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: True when the owning tier was aborted mid-round: the recorded
+    #: outcomes are the partial prefix collected before the abort.
+    aborted: bool = False
 
     @property
     def duration(self) -> float:
@@ -192,9 +201,12 @@ class RoundResult:
     def all_outcomes(self) -> list[DeviceRoundOutcome]:
         """Eager outcomes followed by materialized columnar blocks.
 
-        Within one source (and always for single-plan rounds) the order is
-        chronological; across mixed eager/columnar plans the groups are
-        concatenated rather than merged.
+        Eager outcomes are in emission (chronological) order; columnar
+        blocks are in assignment order, which is chronological for
+        logical-tier plans but not necessarily for phone-tier plans
+        (per-device push bytes de-sync the phones).  Across mixed
+        eager/columnar plans the groups are concatenated rather than
+        merged — sort on ``finished_at`` when chronology matters.
         """
         result = list(self.outcomes)
         for block in self.columnar:
@@ -473,8 +485,7 @@ class LogicalSimulation:
             update_weights[start : start + len(wave)] = wave_weights
             update_biases[start : start + len(wave)] = block.outputs["update_biases"]
             if payload == 0:
-                # Mirrors ModelUpdate.payload_bytes(): weights + bias + envelope.
-                payload = int(wave_weights[0].nbytes + 8 + 64)
+                payload = ModelUpdate.wire_size(plan.feature_dim)
         if not has_updates:
             return np.empty((0, plan.feature_dim)), np.empty(0), 0
         return update_weights, update_biases, payload
@@ -576,7 +587,7 @@ class LogicalSimulation:
                 actors[pos % n_actors].devices_completed += 1
                 update = None
                 if update_weights is not None and update_biases is not None:
-                    update = _package_update(
+                    update = package_update(
                         plan, round_index, assignment, update_weights[pos], update_biases[pos]
                     )
                 collect(

@@ -40,6 +40,10 @@ class PlatformConfig:
         Benchmarking-device sampling period.
     scheduling_interval:
         Task Manager background tick.
+    batch:
+        Drive both execution tiers through their wave-scheduled fast
+        paths (default).  ``False`` restores the per-device generator
+        processes — bit-identical simulated results, much slower.
     """
 
     seed: int = 0
@@ -58,6 +62,7 @@ class PlatformConfig:
     physical_cost: Optional[PhysicalCostModel] = None
     poll_interval: float = 1.0
     scheduling_interval: float = 5.0
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if not self.cluster_nodes:

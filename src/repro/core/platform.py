@@ -183,4 +183,5 @@ class SimDC:
             fixed_allocation=options.get("fixed_allocation"),
             dataset=options.get("dataset"),
             unit_bundle=self.config.unit_bundle,
+            batch=self.config.batch,
         )

@@ -64,6 +64,17 @@ class ModelUpdate:
         """Wire size of this update (weights + bias + small envelope)."""
         return int(self.weights.nbytes + 8 + 64)
 
+    @staticmethod
+    def wire_size(feature_dim: int) -> int:
+        """:meth:`payload_bytes` of an update with ``feature_dim`` weights.
+
+        The batched execution tiers size their uploads from the plan's
+        dimensionality without materializing update objects; this is the
+        single source of truth for the float64-weights + bias + envelope
+        wire format.
+        """
+        return int(feature_dim * 8 + 8 + 64)
+
 
 def _two_sum(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Knuth's branch-free TwoSum: ``a + b`` plus its exact rounding error."""

@@ -13,6 +13,9 @@ post-processing is part of what the reproduction exercises.
 from __future__ import annotations
 
 import shlex
+
+import numpy as np
+
 from repro.phones.apk import TrainingApk
 from repro.phones.phone import VirtualPhone
 
@@ -73,6 +76,20 @@ class SimulatedAdb:
             raise AdbError("cannot push a negative payload")
         phone = self.phone(serial)
         return n_bytes / phone.spec.network_bandwidth_bps
+
+    def push_durations(self, serial: str, byte_counts: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`push_duration` over an array of payload sizes.
+
+        Element ``i`` equals ``push_duration(serial, byte_counts[i])``
+        bit-for-bit (one float64 division either way) — the wave-scheduled
+        phone tier stages a whole emulation queue with one array op instead
+        of one bridge call per queued device.
+        """
+        byte_counts = np.asarray(byte_counts, dtype=np.float64)
+        if byte_counts.size and float(byte_counts.min()) < 0:
+            raise AdbError("cannot push a negative payload")
+        phone = self.phone(serial)
+        return byte_counts / phone.spec.network_bandwidth_bps
 
     # ------------------------------------------------------------------
     # shell

@@ -166,6 +166,40 @@ def parse_metric_sample(
     )
 
 
+def direct_metric_sample(timestamp: float, phone, package: str) -> DeviceMetricSample:
+    """One sample read straight off a virtual phone's sensors.
+
+    Fast path for simulated fleets: skips the five ADB string round-trips
+    of :meth:`PhoneMgr._record_sample` but reproduces their result
+    bit-for-bit, including the lossy steps real post-processing performs —
+    ``top`` prints %CPU with one decimal (so the parsed value is the
+    ``%.1f`` round-trip, not the raw float) — and the exact sensor read
+    order, so the phone's noise streams advance identically: ``top``
+    consults both CPU and PSS for its table even though the pipeline takes
+    memory from ``dumpsys``.
+    """
+    current_ua = abs(float(phone.current_now_ua()))
+    voltage_mv = float(phone.voltage_now_uv()) / 1000.0
+    pid = phone.pgrep(package) or 0
+    if pid:
+        cpu_percent = float(format(phone.cpu_percent(pid), ".1f"))
+        phone.memory_pss_kb(phone.running_package or "")  # top's %MEM column
+        memory_kb = phone.memory_pss_kb(package)
+        rx_bytes, tx_bytes = phone.net_dev_bytes(pid)
+    else:
+        cpu_percent, memory_kb, rx_bytes, tx_bytes = 0.0, 0, 0, 0
+    return DeviceMetricSample(
+        timestamp=timestamp,
+        serial=phone.serial,
+        current_ua=current_ua,
+        voltage_mv=voltage_mv,
+        cpu_percent=cpu_percent,
+        memory_kb=memory_kb,
+        rx_bytes=rx_bytes,
+        tx_bytes=tx_bytes,
+    )
+
+
 def integrate_energy_mah(samples: list[DeviceMetricSample]) -> float:
     """Trapezoidal mAh estimate from sampled currents.
 

@@ -11,7 +11,9 @@ batch-by-batch during training, memory ramps as the training set loads
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.phones.apk import ApkStage, TrainingApk
 from repro.phones.battery import BatteryModel
@@ -84,9 +86,15 @@ class VirtualPhone:
             return self.spec.idle_current_ma
         return self.spec.stage_current(self.stage)
 
-    def _enter_stage(self, stage: Optional[ApkStage]) -> None:
-        """Close the energy account of the old stage, open the new one."""
-        elapsed = self.sim.now - self._stage_entered_at
+    def _enter_stage(self, stage: Optional[ApkStage], at: Optional[float] = None) -> None:
+        """Close the energy account of the old stage, open the new one.
+
+        ``at`` overrides the transition timestamp (default: the simulated
+        clock) — the batched phone tier replays a whole round's stage
+        transitions from precomputed wave times without per-event callbacks.
+        """
+        now = self.sim.now if at is None else at
+        elapsed = now - self._stage_entered_at
         if elapsed > 0 and self.stage is not None:
             consumed = self.battery.accumulate(self._current_draw_ma(), elapsed)
             self.stage_energy_mah[self.stage] = (
@@ -98,7 +106,7 @@ class VirtualPhone:
         elif elapsed > 0:
             self.battery.accumulate(self.spec.idle_current_ma, elapsed)
         self.stage = stage
-        self._stage_entered_at = self.sim.now
+        self._stage_entered_at = now
 
     def clear_background(self) -> None:
         """Stage 1: background tasks cleared, training APK not running."""
@@ -156,6 +164,84 @@ class VirtualPhone:
         self._enter_stage(ApkStage.POST_TRAINING)
         self.sessions_completed += 1
         self.training_complete.fire(self.serial)
+
+    def replay_training_sessions(
+        self, start_times: Sequence[float], duration: float, upload_bytes: int
+    ) -> None:
+        """Apply the state effects of a batch of back-to-back training runs.
+
+        The wave-scheduled phone tier computes every session's start time
+        up front (one cumsum per phone) and calls this once per round
+        instead of driving :meth:`start_training` / ``_finish_training``
+        through per-device events.  The resulting battery accounts, WLAN
+        counters, stage bookkeeping and session counter are bit-identical
+        to the event-driven sequence at the same timestamps: each entry
+        enters TRAINING at ``t`` and POST_TRAINING at ``t + duration``
+        (the same float add the kernel's ``now + delay`` scheduling does).
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if upload_bytes < 0:
+            raise ValueError("upload_bytes must be >= 0")
+        if self.running_pid is None:
+            raise RuntimeError(f"{self.serial}: no running APK to train in")
+        starts = np.asarray(start_times, dtype=np.float64).tolist()
+        if not starts:
+            return
+        duration = float(duration)
+        upload_bytes = int(upload_bytes)
+        # Close whatever stage the phone is in and enter the first session
+        # through the generic accounting path ...
+        self._enter_stage(ApkStage.TRAINING, at=starts[0])
+        # ... then run the strict TRAINING/POST_TRAINING alternation with
+        # the running sums held in locals.  Every addition happens in the
+        # same order, on the same values, as per-event _enter_stage calls
+        # would produce (elapsed is `(start + duration) - start`, NOT
+        # `duration` — float subtraction does not invert addition), so the
+        # battery and stage accounts stay bit-identical.
+        training_draw = self.spec.stage_current(ApkStage.TRAINING)
+        post_draw = self.spec.stage_current(ApkStage.POST_TRAINING)
+        battery = self.battery
+        consumed_total = battery.consumed_mah
+        energy = self.stage_energy_mah
+        stage_durations = self.stage_durations
+        training_energy = energy.get(ApkStage.TRAINING, 0.0)
+        training_time = stage_durations.get(ApkStage.TRAINING, 0.0)
+        post_energy = energy.get(ApkStage.POST_TRAINING, 0.0)
+        post_time = stage_durations.get(ApkStage.POST_TRAINING, 0.0)
+        post_touched = False
+        finish = starts[0]  # overwritten before first use below
+        for index, start in enumerate(starts):
+            if index:
+                gap = start - finish
+                if gap > 0:
+                    consumed = post_draw * gap / 3600.0
+                    consumed_total += consumed
+                    post_energy += consumed
+                    post_time += gap
+                    post_touched = True
+            finish = start + duration
+            elapsed = finish - start
+            if elapsed > 0:
+                consumed = training_draw * elapsed / 3600.0
+                consumed_total += consumed
+                training_energy += consumed
+                training_time += elapsed
+        # Integer counters are order-free; apply the whole batch at once.
+        self._net_tx_base += len(starts) * (upload_bytes + TRAINING_CONTROL_BYTES // 2)
+        self._net_rx_base += len(starts) * (TRAINING_CONTROL_BYTES - TRAINING_CONTROL_BYTES // 2)
+        battery.consumed_mah = consumed_total
+        energy[ApkStage.TRAINING] = training_energy
+        stage_durations[ApkStage.TRAINING] = training_time
+        if post_touched:
+            energy[ApkStage.POST_TRAINING] = post_energy
+            stage_durations[ApkStage.POST_TRAINING] = post_time
+        self.sessions_completed += len(starts)
+        self._training_started_at = starts[-1]
+        self._training_duration = duration
+        self._training_upload_bytes = upload_bytes
+        self.stage = ApkStage.POST_TRAINING
+        self._stage_entered_at = finish
 
     def stop_apk(self) -> None:
         """Stage 5: force-stop the APK and clear background tasks."""

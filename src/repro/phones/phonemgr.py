@@ -7,24 +7,57 @@ Devices* (repeatedly emulating simulated devices) from *Benchmarking
 Devices* (running the five-stage measured protocol of Table I), polls the
 latter "at a certain frequency, organizes [the data] in real-time, and
 uploads it to the cloud database".
+
+Execution strategy (mirroring the logical tier's batched substrate):
+
+* **Wave-scheduled computing phones** — by default (``batch=True``) a
+  plan's emulation queues are laid out columnar: per-phone push / training
+  / upload legs become one interleaved cumsum per phone, registered as
+  ascending sequences in a :class:`~repro.simkernel.TimeoutPool` instead of
+  one generator plus three heap events per emulated device.  Numeric flows
+  execute as ONE stacked block across every device queued on the plan's
+  phones (:meth:`~repro.ml.operators.OperatorFlow.execute_block`), and
+  phone-side state (battery accounts, WLAN counters, session counts) is
+  replayed from the precomputed wave times
+  (:meth:`~repro.phones.phone.VirtualPhone.replay_training_sessions`).
+  Outcomes, finish times and phone state are bit-identical to the
+  generator path (``tests/test_phone_tier_equivalence.py``).
+* **Shared benchmark sampler ticker** — the per-phone 1 Hz polling
+  processes collapse into one recurring pooled tick per PhoneMgr that
+  samples every active benchmarking phone, with timestamps and sample
+  contents (including tie-breaking against stage boundaries) identical to
+  the per-phone loops; samples read the virtual sensors directly
+  (:func:`~repro.phones.metrics.direct_metric_sample`) instead of
+  round-tripping ADB strings.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Callable, Generator, Optional
 
 import numpy as np
 
 from repro.cluster.actor import DeviceAssignment, DeviceRoundOutcome
+from repro.cluster.runner import ColumnarOutcomes, RoundResult, package_update
 from repro.ml.backends import DEVICE_BACKEND, NumericBackend
-from repro.ml.operators import OperatorContext, OperatorFlow
+from repro.ml.fedavg import ModelUpdate
+from repro.ml.operators import BlockOperatorContext, OperatorContext, OperatorFlow
 from repro.phones.adb import SimulatedAdb
 from repro.phones.apk import ApkStage, TrainingApk
 from repro.phones.cost import PhysicalCostModel
-from repro.phones.metrics import DeviceMetricSample, StageSummary, integrate_energy_mah, parse_metric_sample, parse_pgrep_pid
+from repro.phones.metrics import (
+    DeviceMetricSample,
+    StageSummary,
+    direct_metric_sample,
+    integrate_energy_mah,
+    parse_metric_sample,
+    parse_pgrep_pid,
+)
 from repro.phones.phone import VirtualPhone
-from repro.simkernel import AllOf, RandomStreams, Simulator, Timeout
+from repro.simkernel import AllOf, RandomStreams, RecurringTimeout, Signal, Simulator, Timeout, TimeoutPool
 
 
 @dataclass
@@ -61,6 +94,15 @@ class PhoneAssignment:
             raise ValueError("n_phones must be >= 0")
         if self.assignments and self.n_phones == 0:
             raise ValueError("computing devices require at least one phone")
+        # Grade homogeneity, mirroring GradeExecutionPlan: the wave schedule
+        # broadcasts one training duration per plan and the block executor
+        # stacks every queued device, both of which assume a single grade.
+        for assignment in chain(self.assignments, self.benchmarking):
+            if assignment.grade != self.grade:
+                raise ValueError(
+                    f"assignment {assignment.device_id!r} has grade "
+                    f"{assignment.grade!r} but the plan is for grade {self.grade!r}"
+                )
 
 
 @dataclass
@@ -73,10 +115,20 @@ class BenchmarkRecord:
     boundaries: list[tuple[ApkStage, float, float]] = field(default_factory=list)
 
     def stage_summaries(self) -> list[StageSummary]:
-        """Table-I rows reconstructed from the sampled series."""
+        """Table-I rows reconstructed from the sampled series.
+
+        Samples are appended in time order (the polling tick plus the
+        synchronous boundary snaps), so each stage window is located by
+        bisection over the timestamps instead of rescanning every sample
+        per stage — O(stages·log n + n) instead of O(stages·n), which
+        matters at high poll rates.
+        """
+        timestamps = [sample.timestamp for sample in self.samples]
         summaries = []
         for stage, start, end in self.boundaries:
-            window = [s for s in self.samples if start - 1e-9 <= s.timestamp <= end + 1e-9]
+            lo = bisect_left(timestamps, start - 1e-9)
+            hi = bisect_right(timestamps, end + 1e-9)
+            window = self.samples[lo:hi]
             energy = integrate_energy_mah(window)
             if len(window) >= 2:
                 comm_kb = (window[-1].total_bytes - window[0].total_bytes) / 1024.0
@@ -92,6 +144,18 @@ class BenchmarkRecord:
                 )
             )
         return summaries
+
+
+class _SampledPhone:
+    """One benchmarking phone's registration with the shared sampler ticker."""
+
+    __slots__ = ("phone", "record", "active", "stopped")
+
+    def __init__(self, phone: VirtualPhone, record: BenchmarkRecord) -> None:
+        self.phone = phone
+        self.record = record
+        self.active = True
+        self.stopped = Signal(name=f"{phone.serial}.sampler")
 
 
 class PhoneMgr:
@@ -112,6 +176,11 @@ class PhoneMgr:
     on_sample:
         Optional hook invoked per collected sample — the platform wires
         this to the cloud metrics database upload.
+    batch:
+        Use the wave-scheduled fast path (columnar emulation queues, the
+        shared sampler ticker and direct sensor sampling).  ``False``
+        restores the per-device generator processes; both modes produce
+        bit-identical simulations.
     """
 
     def __init__(
@@ -125,6 +194,7 @@ class PhoneMgr:
         poll_interval: float = 1.0,
         on_sample: Optional[Callable[[DeviceMetricSample], None]] = None,
         busy_registry: Optional[set[str]] = None,
+        batch: bool = True,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
@@ -136,13 +206,24 @@ class PhoneMgr:
         self.streams = streams or RandomStreams(0)
         self.poll_interval = float(poll_interval)
         self.on_sample = on_sample
+        self.batch = batch
         self.plans: list[PhoneAssignment] = []
         self.computing_phones: dict[str, list[VirtualPhone]] = {}
         self.benchmark_phones: dict[str, list[VirtualPhone]] = {}
         self.benchmark_records: list[BenchmarkRecord] = []
+        self.rounds: list[RoundResult] = []
         # Reservation registry; pass a shared set so several PhoneMgr
         # sessions (one per concurrent task) never double-book a phone.
         self._busy: set[str] = busy_registry if busy_registry is not None else set()
+        # Wave-schedule plumbing: pooled emulation legs, the shared sampler
+        # ticker, and an epoch counter that voids pooled callbacks from a
+        # task that was aborted mid-round.
+        self._pool = TimeoutPool(sim, name="phone-tier")
+        self._sampler_pool = TimeoutPool(sim, name="phone-sampler")
+        self._sampler_entries: list[_SampledPhone] = []
+        self._sampler_handle: Optional[RecurringTimeout] = None
+        self._round_barriers: list[Signal] = []
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # device selection
@@ -184,25 +265,44 @@ class PhoneMgr:
         Computing phones pay the framework-startup lambda here (once per
         task); benchmarking phones stay cold — their five-stage protocol
         starts from a cleared state every round.
+
+        Selection is transactional: if a later plan cannot be satisfied
+        (or an APK install fails), every phone already reserved for this
+        task is released before the error propagates, so sibling tasks
+        sharing the busy registry see no leaked reservations.
         """
         if self.plans:
             raise RuntimeError("PhoneMgr already has a prepared task")
         self.plans = list(plans)
-        startups = []
-        for plan in self.plans:
-            computing = self.select_phones(plan.grade, plan.n_phones) if plan.assignments else []
-            benchmarking = self.select_phones(plan.grade, len(plan.benchmarking))
-            self.computing_phones[plan.grade] = computing
-            self.benchmark_phones[plan.grade] = benchmarking
-            for phone in computing + benchmarking:
-                self.adb.install(phone.serial, self.apk)
-            for phone in computing:
-                startups.append(
-                    self.sim.process(
-                        self._start_framework(phone, plan.grade),
-                        name=f"{task_id}.{phone.serial}.startup",
-                    )
-                )
+        startup_targets: list[tuple[VirtualPhone, str]] = []
+        reserved: list[VirtualPhone] = []
+        try:
+            for plan in self.plans:
+                computing = self.select_phones(plan.grade, plan.n_phones) if plan.assignments else []
+                reserved.extend(computing)
+                benchmarking = self.select_phones(plan.grade, len(plan.benchmarking))
+                reserved.extend(benchmarking)
+                self.computing_phones[plan.grade] = computing
+                self.benchmark_phones[plan.grade] = benchmarking
+                for phone in computing + benchmarking:
+                    self.adb.install(phone.serial, self.apk)
+                startup_targets.extend((phone, plan.grade) for phone in computing)
+        except Exception:
+            self.release_phones(reserved)
+            self.plans = []
+            self.computing_phones.clear()
+            self.benchmark_phones.clear()
+            raise
+        # Framework startups launch only after *every* plan has selected
+        # and installed — a mid-prepare failure must not leave orphaned
+        # startup processes driving phones that were just released.
+        startups = [
+            self.sim.process(
+                self._start_framework(phone, grade),
+                name=f"{task_id}.{phone.serial}.startup",
+            )
+            for phone, grade in startup_targets
+        ]
         if startups:
             yield AllOf(startups)
 
@@ -225,32 +325,88 @@ class PhoneMgr:
         global_weights: Optional[np.ndarray],
         global_bias: float,
         model_bytes: int,
-        on_outcome: Callable[[DeviceRoundOutcome], None],
+        on_outcome: Optional[Callable[[DeviceRoundOutcome], None]] = None,
     ) -> Generator:
-        """Execute one round on computing + benchmarking phones."""
+        """Execute one round on computing + benchmarking phones.
+
+        ``on_outcome`` fires per device as results complete.  With
+        ``on_outcome=None`` under the batched path, each computing plan
+        records one columnar block instead of constructing per-device
+        outcome objects (the logical tier's ``ColumnarOutcomes``), which is
+        what the large phone-tier sweeps exercise.  The returned process
+        resolves with a :class:`~repro.cluster.runner.RoundResult`.
+        """
+        result = RoundResult(round_index=round_index, started_at=self.sim.now)
+        epoch = self._epoch
+
+        def collect(outcome: DeviceRoundOutcome) -> None:
+            result.outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+
         processes = []
+        batched_plans: list[PhoneAssignment] = []
         for plan in self.plans:
-            queues = self._partition(plan.assignments, max(1, plan.n_phones))
-            for phone, queue in zip(self.computing_phones[plan.grade], queues):
-                processes.append(
-                    self.sim.process(
-                        self._run_computing_phone(
-                            phone, queue, round_index, plan, global_weights, global_bias, model_bytes, on_outcome
-                        ),
-                        name=f"{phone.serial}.round{round_index}",
+            # Per-plan choice mirroring the logical tier: time-only plans
+            # always batch; numeric plans batch when every operator has a
+            # vectorized block implementation, else they keep the
+            # per-device generator path.
+            if self.batch and (not plan.numeric or plan.flow.supports_block):
+                batched_plans.append(plan)
+            else:
+                queues = self._partition(plan.assignments, max(1, plan.n_phones))
+                for phone, queue in zip(self.computing_phones[plan.grade], queues):
+                    processes.append(
+                        self.sim.process(
+                            self._run_computing_phone(
+                                phone, queue, round_index, plan, global_weights, global_bias, model_bytes, collect
+                            ),
+                            name=f"{phone.serial}.round{round_index}",
+                        )
                     )
-                )
             for phone, assignment in zip(self.benchmark_phones[plan.grade], plan.benchmarking):
                 processes.append(
                     self.sim.process(
                         self._run_benchmark_phone(
-                            phone, assignment, round_index, plan, global_weights, global_bias, model_bytes, on_outcome
+                            phone, assignment, round_index, plan, global_weights, global_bias, model_bytes, collect
                         ),
                         name=f"{phone.serial}.bench{round_index}",
                     )
                 )
-        if processes:
-            yield AllOf(processes)
+        barriers: list = list(processes)
+        if batched_plans:
+            remaining = len(batched_plans)
+            batched_done = Signal(name=f"phones.round{round_index}.batched-done")
+            self._round_barriers.append(batched_done)
+
+            def plan_done() -> None:
+                nonlocal remaining
+                remaining -= 1
+                if remaining == 0:
+                    if batched_done in self._round_barriers:
+                        self._round_barriers.remove(batched_done)
+                    batched_done.fire()
+
+            for plan in batched_plans:
+                self._register_batched_plan(
+                    plan,
+                    round_index,
+                    global_weights,
+                    global_bias,
+                    model_bytes,
+                    result,
+                    collect if on_outcome is not None else None,
+                    plan_done,
+                )
+            barriers.append(batched_done)
+        if barriers:
+            yield AllOf(barriers)
+        result.finished_at = self.sim.now
+        # abort() mid-round releases the barrier early; mark the partial
+        # result so consumers never mistake it for a completed round.
+        result.aborted = epoch != self._epoch
+        self.rounds.append(result)
+        return result
 
     def teardown(self) -> Generator:
         """Stop APKs, idle every phone, release reservations."""
@@ -260,6 +416,7 @@ class PhoneMgr:
                 self.adb.shell(phone.serial, f"am force-stop {self.apk.package}")
                 phone.set_idle()
                 self.release_phones([phone])
+        self._epoch += 1
         self.plans = []
         self.computing_phones.clear()
         self.benchmark_phones.clear()
@@ -269,7 +426,8 @@ class PhoneMgr:
 
         Skips control-latency niceties: force-stops any running APK,
         idles every reserved phone and returns it to the pool so sibling
-        and queued tasks are unaffected by the crash.
+        and queued tasks are unaffected by the crash.  Pending pooled wave
+        callbacks from the crashed round are voided via the epoch counter.
         """
         for phones in list(self.computing_phones.values()) + list(self.benchmark_phones.values()):
             for phone in phones:
@@ -277,10 +435,218 @@ class PhoneMgr:
                     self.adb.shell(phone.serial, f"am force-stop {self.apk.package}")
                 phone.set_idle()
                 self.release_phones([phone])
+        self._epoch += 1
+        for entry in self._sampler_entries:
+            if not entry.stopped.fired:
+                entry.stopped.fire(entry.phone.serial)
+        self._sampler_entries = []
+        if self._sampler_handle is not None:
+            self._sampler_handle.cancel()
+            self._sampler_handle = None
+        # The epoch bump voided the pooled callbacks that would have fired
+        # these barriers; release any round process still blocked on one so
+        # an aborted task's in-flight round unwinds instead of leaking.
+        for barrier in self._round_barriers:
+            if not barrier.fired:
+                barrier.fire()
+        self._round_barriers = []
         self.plans = []
         self.computing_phones.clear()
         self.benchmark_phones.clear()
 
+    # ------------------------------------------------------------------
+    # wave-scheduled computing phones (the batched fast path)
+    # ------------------------------------------------------------------
+    def _execute_numeric_block(
+        self,
+        plan: PhoneAssignment,
+        round_index: int,
+        global_weights: Optional[np.ndarray],
+        global_bias: float,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Run a numeric plan's flow as one stacked block over every device.
+
+        Devices queued on the plan's phones share grade, backend and the
+        round's global model, so the whole plan evaluates as a single
+        :class:`BlockOperatorContext` — one stacked weight matrix refined
+        by the flow's vectorized operators.  Flow execution consumes no
+        simulated time (exactly like the generator path, where the math
+        runs eagerly between two waits), and each device draws from its own
+        named random stream (``phone-exec.{device_id}``, the same cached
+        generator the per-device path consumes round after round), so block
+        grouping cannot perturb results.
+
+        Returns ``(update_weights, update_biases, payload_bytes)`` in
+        assignment order; the weight array is empty when the flow produces
+        no uploads.
+        """
+        for assignment in plan.assignments:
+            if assignment.dataset is None:
+                raise RuntimeError(
+                    f"device {assignment.device_id} has no dataset but the run is numeric"
+                )
+        block = BlockOperatorContext(
+            device_ids=[a.device_id for a in plan.assignments],
+            grade=plan.grade,
+            datasets=[a.dataset for a in plan.assignments],
+            feature_dim=plan.feature_dim,
+            backend=plan.backend,
+            global_weights=global_weights,
+            global_bias=global_bias,
+            round_index=round_index,
+            rngs=[self.streams.get(f"phone-exec.{a.device_id}") for a in plan.assignments],
+        )
+        plan.flow.execute_block(block)
+        update_weights = block.outputs.get("update_weights")
+        if update_weights is None:
+            return np.empty((0, plan.feature_dim)), np.empty(0), 0
+        update_biases = block.outputs["update_biases"]
+        payload = ModelUpdate.wire_size(plan.feature_dim)
+        return update_weights, update_biases, payload
+
+    def _register_batched_plan(
+        self,
+        plan: PhoneAssignment,
+        round_index: int,
+        global_weights: Optional[np.ndarray],
+        global_bias: float,
+        model_bytes: int,
+        result: RoundResult,
+        collect: Optional[Callable[[DeviceRoundOutcome], None]],
+        plan_done: Callable[[], None],
+    ) -> None:
+        """Register one plan's whole emulation round in the timeout pool.
+
+        Each computing phone's queue (round-robin: wave ``w`` on phone
+        ``p`` holds ``assignments[w * n_phones + p]``) reduces to one
+        interleaved cumsum ``((now + push) + training) + upload`` — the
+        exact float-add chain the generator path's ``now + delay``
+        scheduling produces, so finish times are bit-identical.  Pushes
+        vary per device (dataset size), so the chain is per phone rather
+        than per plan; phone state (battery, WLAN counters, session
+        counts) is replayed from the same precomputed times once the
+        phone's queue drains.
+
+        With a ``collect`` callback each phone's sequence drains wave by
+        wave through the pool (chronological across phones; ties fire in
+        phone order, matching the lock-step generator interleave of the
+        homogeneous default fleets).  Without one, the entire plan becomes
+        a single pooled deadline at its last completion time plus a
+        columnar block — no per-device events or objects at all.
+        """
+        total = len(plan.assignments)
+        if total == 0:
+            plan_done()
+            return
+        phones = self.computing_phones[plan.grade]
+        n_phones = len(phones)
+        duration = self.cost_model.training_duration(plan.grade, plan.flow.total_work)
+        update_weights: Optional[np.ndarray] = None
+        update_biases: Optional[np.ndarray] = None
+        upload_bytes = model_bytes
+        if plan.numeric:
+            update_weights, update_biases, payload = self._execute_numeric_block(
+                plan, round_index, global_weights, global_bias
+            )
+            if len(update_weights):
+                upload_bytes = payload
+            else:
+                update_weights = update_biases = None
+        data_bytes = np.fromiter(
+            (
+                a.dataset.nbytes() if a.dataset is not None else 64 * a.n_samples
+                for a in plan.assignments
+            ),
+            dtype=np.float64,
+            count=total,
+        )
+        now = self.sim.now
+        epoch = self._epoch
+        finished = np.empty(total, dtype=np.float64)
+        assignments = plan.assignments
+        active_phones = [(p, phone) for p, phone in enumerate(phones) if p < total]
+        replays: list[tuple[VirtualPhone, np.ndarray]] = []
+        for p, phone in active_phones:
+            pushes = self.adb.push_durations(phone.serial, data_bytes[p::n_phones] + model_bytes)
+            count = len(pushes)
+            steps = np.empty(3 * count + 1, dtype=np.float64)
+            steps[0] = now
+            steps[1::3] = pushes
+            steps[2::3] = duration
+            steps[3::3] = upload_bytes / phone.spec.network_bandwidth_bps
+            times = np.cumsum(steps)
+            finished[p::n_phones] = times[3::3]
+            replays.append((phone, times[1::3]))
+
+        def replay_phone_states() -> None:
+            for phone, starts in replays:
+                phone.replay_training_sessions(starts, duration, upload_bytes)
+
+        if collect is None:
+
+            def fire_all() -> None:
+                if epoch != self._epoch:
+                    return
+                result.columnar.append(
+                    ColumnarOutcomes(
+                        plan=plan,
+                        round_index=round_index,
+                        payload_bytes=upload_bytes,
+                        finished_at=finished,
+                        update_weights=update_weights,
+                        update_biases=update_biases,
+                    )
+                )
+                replay_phone_states()
+                plan_done()
+
+            self._pool.add_at(float(finished.max()), fire_all)
+            return
+
+        pending = len(active_phones)
+
+        def make_fire(p: int, phone: VirtualPhone, starts: np.ndarray, count: int):
+            def fire(lo: int, hi: int, _t: float) -> None:
+                nonlocal pending
+                if epoch != self._epoch:
+                    return
+                for k in range(lo, hi):
+                    position = k * n_phones + p
+                    assignment = assignments[position]
+                    update = None
+                    if update_weights is not None and update_biases is not None:
+                        update = package_update(
+                            plan,
+                            round_index,
+                            assignment,
+                            update_weights[position],
+                            update_biases[position],
+                        )
+                    collect(
+                        DeviceRoundOutcome(
+                            device_id=assignment.device_id,
+                            grade=assignment.grade,
+                            round_index=round_index,
+                            n_samples=assignment.n_samples,
+                            payload_bytes=upload_bytes,
+                            update=update,
+                            finished_at=float(finished[position]),
+                        )
+                    )
+                if hi == count:
+                    phone.replay_training_sessions(starts, duration, upload_bytes)
+                    pending -= 1
+                    if pending == 0:
+                        plan_done()
+
+            return fire
+
+        for (p, phone), (_, starts) in zip(active_phones, replays):
+            count = len(starts)
+            self._pool.add_sequence(finished[p::n_phones], make_fire(p, phone, starts, count))
+
+    # ------------------------------------------------------------------
+    # legacy per-device generator path
     # ------------------------------------------------------------------
     def _run_computing_phone(
         self,
@@ -295,7 +661,11 @@ class PhoneMgr:
     ) -> Generator:
         """Sequentially emulate the queued devices on one phone."""
         for assignment in queue:
-            data_bytes = assignment.dataset.nbytes() if assignment.dataset else 64 * assignment.n_samples
+            # `is not None`, not truthiness: a zero-record dataset must
+            # stage its (zero) real bytes on both execution paths alike.
+            data_bytes = (
+                assignment.dataset.nbytes() if assignment.dataset is not None else 64 * assignment.n_samples
+            )
             yield Timeout(self.adb.push_duration(phone.serial, data_bytes + model_bytes))
             duration = self.cost_model.training_duration(plan.grade, plan.flow.total_work)
             update = None
@@ -319,6 +689,9 @@ class PhoneMgr:
                 )
             )
 
+    # ------------------------------------------------------------------
+    # benchmarking phones (Table I five-stage protocol)
+    # ------------------------------------------------------------------
     def _run_benchmark_phone(
         self,
         phone: VirtualPhone,
@@ -333,8 +706,16 @@ class PhoneMgr:
         """The measured five-stage protocol of Table I on one phone."""
         record = BenchmarkRecord(serial=phone.serial, round_index=round_index)
         self.benchmark_records.append(record)
-        sampling = {"active": True}
         window = self.cost_model.stage_window
+        if self.batch:
+            entry = self._register_sampled_phone(phone, record)
+            sampler: object = entry.stopped
+        else:
+            entry = None
+            sampling = {"active": True}
+            sampler = self.sim.process(
+                self._sample_loop(phone, record, sampling), name=f"{phone.serial}.sampler"
+            )
 
         def boundary(stage: ApkStage, start: float) -> None:
             # Snap a synchronous sample at the transition so per-stage
@@ -342,10 +723,6 @@ class PhoneMgr:
             # boundary instead of at the nearest polling tick.
             self._record_sample(phone, record)
             record.boundaries.append((stage, start, self.sim.now))
-
-        sampler = self.sim.process(
-            self._sample_loop(phone, record, sampling), name=f"{phone.serial}.sampler"
-        )
 
         # Stage 1: clear background, APK not running.
         yield from self._control_latency(phone)
@@ -396,9 +773,49 @@ class PhoneMgr:
         start = self.sim.now
         yield Timeout(window)
         boundary(ApkStage.APK_CLOSURE, start)
-        sampling["active"] = False
+        if entry is not None:
+            entry.active = False
+        else:
+            sampling["active"] = False
         phone.set_idle()
+        # Both modes resume at the tick after deactivation: the legacy
+        # sampler process exits there, the shared ticker fires ``stopped``.
         yield sampler
+
+    # ------------------------------------------------------------------
+    # benchmark sampling (shared ticker + legacy per-phone loop)
+    # ------------------------------------------------------------------
+    def _register_sampled_phone(self, phone: VirtualPhone, record: BenchmarkRecord) -> _SampledPhone:
+        """Join the shared sampler ticker (starting it on first use)."""
+        entry = _SampledPhone(phone, record)
+        self._sampler_entries.append(entry)
+        if self._sampler_handle is None:
+            # First fire *now*: the per-phone loop's opening sample landed
+            # at sampler-process start, the same timestamp as registration.
+            self._sampler_handle = self._sampler_pool.add_recurring(
+                self.poll_interval, self._sampler_tick, first_at=self.sim.now
+            )
+        return entry
+
+    def _sampler_tick(self) -> None:
+        """One shared tick: sample every active phone, in registration order.
+
+        Deactivated phones get their ``stopped`` signal fired instead — the
+        moment their dedicated sampler process would have observed the flag
+        and exited.  The ticker cancels itself once nobody is registered,
+        so no samples land between rounds (the Fig. 5 no-data windows).
+        """
+        survivors = []
+        for entry in self._sampler_entries:
+            if entry.active:
+                self._record_sample(entry.phone, entry.record)
+                survivors.append(entry)
+            else:
+                entry.stopped.fire(entry.phone.serial)
+        self._sampler_entries = survivors
+        if not survivors and self._sampler_handle is not None:
+            self._sampler_handle.cancel()
+            self._sampler_handle = None
 
     def _sample_loop(
         self, phone: VirtualPhone, record: BenchmarkRecord, sampling: dict
@@ -409,7 +826,23 @@ class PhoneMgr:
             yield Timeout(self.poll_interval)
 
     def _record_sample(self, phone: VirtualPhone, record: BenchmarkRecord) -> None:
-        """Collect one sample via raw ADB commands and post-processing."""
+        """Collect one sample and forward it to the upload hook.
+
+        The batched mode reads the virtual sensors directly
+        (:func:`direct_metric_sample` — bit-identical to the ADB text
+        pipeline, including its parse round-trips); legacy mode issues the
+        five raw ADB commands and post-processes their output.
+        """
+        if self.batch:
+            sample = direct_metric_sample(self.sim.now, phone, self.apk.package)
+        else:
+            sample = self._sample_via_adb(phone)
+        record.samples.append(sample)
+        if self.on_sample is not None:
+            self.on_sample(sample)
+
+    def _sample_via_adb(self, phone: VirtualPhone) -> DeviceMetricSample:
+        """One sample via raw ADB commands and string post-processing."""
         package = self.apk.package
         current_raw = self.adb.shell(phone.serial, "cat /sys/class/power_supply/battery/current_now")
         voltage_raw = self.adb.shell(phone.serial, "cat /sys/class/power_supply/battery/voltage_now")
@@ -421,7 +854,7 @@ class PhoneMgr:
             net_raw = self.adb.shell(phone.serial, f"cat /proc/{pid}/net/dev | grep wlan")
         else:
             top_raw, dumpsys_raw, net_raw = "", "", ""
-        sample = parse_metric_sample(
+        return parse_metric_sample(
             timestamp=self.sim.now,
             serial=phone.serial,
             current_raw=current_raw,
@@ -431,9 +864,6 @@ class PhoneMgr:
             dumpsys_raw=dumpsys_raw,
             net_dev_raw=net_raw,
         )
-        record.samples.append(sample)
-        if self.on_sample is not None:
-            self.on_sample(sample)
 
     def _execute_flow(
         self,

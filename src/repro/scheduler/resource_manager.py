@@ -13,6 +13,7 @@ happens later inside the execution tiers against the same capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.cluster.cluster import K8sCluster
 from repro.cluster.resources import NodeSpec, ResourceBundle
@@ -74,11 +75,11 @@ class ResourceManager:
         self,
         cluster: K8sCluster,
         phones: list[VirtualPhone],
-        unit_bundle: ResourceBundle = ResourceBundle(cpus=1.0, memory_gb=1.0),
+        unit_bundle: Optional[ResourceBundle] = None,
     ) -> None:
         self.cluster = cluster
         self.phones = list(phones)
-        self.unit_bundle = unit_bundle
+        self.unit_bundle = unit_bundle if unit_bundle is not None else ResourceBundle(cpus=1.0, memory_gb=1.0)
         self._frozen_bundles = 0
         self._frozen_phones: dict[str, int] = {}
         self._grants: dict[str, ResourceGrant] = {}

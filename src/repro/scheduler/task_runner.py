@@ -88,6 +88,10 @@ class TaskRunner:
     fixed_allocation:
         Optional explicit per-grade logical counts overriding the
         optimizer (the Type 1-5 experiments use this).
+    batch:
+        Drive both tiers through their wave-scheduled fast paths (the
+        default).  ``False`` restores per-device generator processes and
+        per-phone samplers — bit-identical simulations either way.
     """
 
     def __init__(
@@ -107,7 +111,8 @@ class TaskRunner:
         monitor: Optional[Monitor] = None,
         fixed_allocation: Optional[dict[str, int]] = None,
         dataset: Optional[FederatedDataset] = None,
-        unit_bundle: ResourceBundle = ResourceBundle(cpus=1.0, memory_gb=1.0),
+        unit_bundle: Optional[ResourceBundle] = None,
+        batch: bool = True,
     ) -> None:
         self.sim = sim
         self.spec = spec
@@ -120,9 +125,9 @@ class TaskRunner:
         self.db = db
         self.monitor = monitor
         self.fixed_allocation = fixed_allocation
-        self.unit_bundle = unit_bundle
+        self.unit_bundle = unit_bundle if unit_bundle is not None else ResourceBundle(cpus=1.0, memory_gb=1.0)
         self._provided_dataset = dataset
-        self.logical = LogicalSimulation(sim, cluster, self.logical_cost, self.streams)
+        self.logical = LogicalSimulation(sim, cluster, self.logical_cost, self.streams, batch=batch)
         self.phonemgr = PhoneMgr(
             sim,
             adb,
@@ -131,6 +136,7 @@ class TaskRunner:
             streams=self.streams,
             busy_registry=busy_registry,
             on_sample=self._store_sample if db is not None else None,
+            batch=batch,
         )
         self.service: Optional[AggregationService] = None
         self.result: Optional[TaskResult] = None

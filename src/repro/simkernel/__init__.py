@@ -34,7 +34,7 @@ from repro.simkernel.processes import (
 from repro.simkernel.random import RandomStreams, stable_hash
 from repro.simkernel.resources import Semaphore, Store
 from repro.simkernel.simulator import Simulator
-from repro.simkernel.timeout_pool import PooledTimeout, TimeoutPool
+from repro.simkernel.timeout_pool import PooledTimeout, RecurringTimeout, TimeoutPool
 
 __all__ = [
     "AllOf",
@@ -46,6 +46,7 @@ __all__ = [
     "Process",
     "ProcessError",
     "RandomStreams",
+    "RecurringTimeout",
     "Semaphore",
     "Signal",
     "Simulator",

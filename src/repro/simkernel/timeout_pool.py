@@ -67,6 +67,52 @@ class PooledTimeout:
             self._pool._cancel(self._index)
 
 
+class RecurringTimeout:
+    """Cancellable handle for a recurring pooled tick.
+
+    Each fire re-registers the next tick at ``fire_time + interval`` — the
+    same ``now + delay`` accumulation a generator looping over
+    ``yield Timeout(interval)`` produces, so replacing N lock-step polling
+    processes with one recurring pool entry leaves every tick timestamp
+    bit-identical.
+    """
+
+    __slots__ = ("_pool", "interval", "_callback", "_args", "_entry", "_cancelled")
+
+    def __init__(
+        self, pool: "TimeoutPool", interval: float, callback: Callable[..., Any], args: tuple
+    ) -> None:
+        self._pool = pool
+        self.interval = float(interval)
+        self._callback = callback
+        self._args = args
+        self._entry: Optional[PooledTimeout] = None
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the recurrence has been stopped."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Stop ticking.  Idempotent; safe to call from inside the callback."""
+        self._cancelled = True
+        if self._entry is not None:
+            self._entry.cancel()
+            self._entry = None
+
+    def _arm(self, time: float) -> None:
+        self._entry = self._pool.add_at(time, self._fire)
+
+    def _fire(self) -> None:
+        self._entry = None
+        if self._cancelled:
+            return
+        self._callback(*self._args)
+        if not self._cancelled:
+            self._arm(self._pool.sim.now + self.interval)
+
+
 class _SequenceChunk:
     """One bulk-registered ascending run of deadlines."""
 
@@ -164,6 +210,26 @@ class TimeoutPool:
         heapq.heappush(self._chunk_heap, (chunk.next_time, next(self._chunk_seq), chunk))
         self._live += times.size
         self._arm(chunk.next_time)
+
+    def add_recurring(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        first_at: Optional[float] = None,
+    ) -> RecurringTimeout:
+        """Fire ``callback(*args)`` every ``interval`` until cancelled.
+
+        The first fire is at ``first_at`` (default ``now + interval``);
+        subsequent ticks accumulate as ``fire_time + interval``.  Returns a
+        :class:`RecurringTimeout` handle whose ``cancel()`` stops the
+        recurrence — including from within the callback itself.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        handle = RecurringTimeout(self, interval, callback, args)
+        handle._arm(self.sim.now + interval if first_at is None else float(first_at))
+        return handle
 
     # ------------------------------------------------------------------
     # introspection

@@ -18,7 +18,7 @@ from repro.cluster import (
 from repro.cluster.resources import WorkerNode
 from repro.data import SyntheticAvazu
 from repro.ml import standard_fl_flow
-from repro.simkernel import RandomStreams, Simulator, Timeout
+from repro.simkernel import ProcessError, RandomStreams, Simulator, Timeout
 
 
 class TestResourceBundle:
@@ -316,7 +316,7 @@ class TestLogicalSimulation:
             yield sim.process(logical.prepare([plan]))
 
         proc = sim.process(run())
-        with pytest.raises(Exception):
+        with pytest.raises(ProcessError):
             sim.run()
         assert proc.error is not None or sim.orphan_failures
 

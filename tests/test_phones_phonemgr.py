@@ -16,7 +16,7 @@ from repro.phones import (
 )
 from repro.phones.apk import ApkStage
 from repro.phones.specs import DEFAULT_LOCAL_FLEET, DEFAULT_MSP_FLEET
-from repro.simkernel import RandomStreams, Simulator
+from repro.simkernel import ProcessError, RandomStreams, Simulator
 
 
 def build_rig(n_local=10, poll_interval=1.0, on_sample=None, cost_model=None):
@@ -76,6 +76,62 @@ class TestSelection:
         chosen = mgr.select_phones("High", 4)
         assert len(mgr.available_phones("High")) == 0
         mgr.release_phones(chosen)
+        assert len(mgr.available_phones("High")) == 4
+
+
+class TestPrepareReservationLeak:
+    def plans_with_failing_second(self):
+        # Plan 1 fits; plan 2 requests more Low phones than exist, so
+        # select_phones raises after plan 1's reservations were taken.
+        return [
+            time_only_plan("High", n_devices=4, n_phones=3, n_bench=1),
+            time_only_plan("Low", n_devices=40, n_phones=20),
+        ]
+
+    def test_failed_prepare_releases_reserved_phones(self):
+        sim, _, mgr, phones = build_rig(n_local=10)
+        free_high = len(mgr.available_phones("High"))
+        free_low = len(mgr.available_phones("Low"))
+        proc = sim.process(mgr.prepare(self.plans_with_failing_second()))
+        with pytest.raises(ProcessError):
+            sim.run()
+        assert proc.error is not None
+        # Nothing stays in the busy registry, and the manager is reusable.
+        assert len(mgr.available_phones("High")) == free_high
+        assert len(mgr.available_phones("Low")) == free_low
+        assert mgr.plans == []
+        assert mgr.computing_phones == {}
+        # No orphaned framework-startup processes may touch the released
+        # phones: after the queue drains, every phone is untouched — not
+        # stuck mid-APK-launch draining battery or racing a sibling task.
+        sim.run()
+        assert sim.pending_events == 0
+        for phone in phones:
+            assert phone.running_pid is None
+            assert phone.stage is None
+
+    def test_failed_prepare_leaves_shared_registry_clean(self):
+        sim, adb, mgr, phones = build_rig(n_local=10)
+        sibling = PhoneMgr(sim, adb, phones, streams=RandomStreams(6), busy_registry=mgr._busy)
+        with pytest.raises(RuntimeError):
+            list(mgr.prepare(self.plans_with_failing_second()))
+        # A sibling task sharing the registry can still book every phone.
+        assert len(sibling.available_phones("High")) == 4
+        assert len(sibling.available_phones("Low")) == 6
+
+    def test_successful_prepare_after_failed_one(self):
+        sim, _, mgr, _ = build_rig(n_local=10)
+        with pytest.raises(RuntimeError):
+            list(mgr.prepare(self.plans_with_failing_second()))
+        plan = time_only_plan("High", n_devices=4, n_phones=2)
+
+        def run():
+            yield sim.process(mgr.prepare([plan]))
+            yield sim.process(mgr.run_round(1, None, 0.0, 0, lambda o: None))
+            yield sim.process(mgr.teardown())
+
+        sim.process(run())
+        sim.run()
         assert len(mgr.available_phones("High")) == 4
 
 
@@ -232,6 +288,28 @@ class TestBenchmarking:
             s for s in samples if end_of_first + 1 < s.timestamp < start_of_second - 1
         ]
         assert gap_samples == []
+
+    def test_stage_summaries_at_high_poll_rate(self):
+        """The bisect window selection matches a full rescan at 50 Hz."""
+        from repro.phones.metrics import integrate_energy_mah
+
+        mgr, _ = self.run_benchmark(poll_interval=0.02)
+        record = mgr.benchmark_records[0]
+        assert len(record.samples) > 3000
+        summaries = record.stage_summaries()
+        # Reference: the O(stages * samples) rescan the bisect replaced.
+        for summary, (stage, start, end) in zip(summaries, record.boundaries):
+            window = [
+                s for s in record.samples if start - 1e-9 <= s.timestamp <= end + 1e-9
+            ]
+            assert summary.power_mah == integrate_energy_mah(window)
+            expected_kb = (
+                (window[-1].total_bytes - window[0].total_bytes) / 1024.0
+                if len(window) >= 2
+                else 0.0
+            )
+            assert summary.comm_kb == expected_kb
+            assert summary.stage == int(stage)
 
 
 class TestMsp:

@@ -101,9 +101,11 @@ def test_fire_order_and_counts_match_reference_model(ops, cancel_plan):
                 current += increment
                 times.append(current)
 
-            def fire(lo, hi, t, op_index=op_index, times=tuple(times)):
+            chunk_times = tuple(times)
+
+            def fire(lo, hi, t, op_index=op_index, chunk_times=chunk_times):
                 for position in range(lo, hi):
-                    assert times[position] == t  # slice really is due now
+                    assert chunk_times[position] == t  # slice really is due now
                     log.append((t, ("seq", op_index, position)))
 
             pool.add_sequence(np.array(times), fire)
@@ -166,3 +168,59 @@ def test_batch_stepping_is_equivalent(ops, cancel_plan, batch):
         return log
 
     assert run(batch) == run(not batch)
+
+
+class TestRecurringTimeout:
+    def test_tick_schedule_accumulates_like_a_generator_loop(self):
+        # A recurring tick must land on the same float timestamps as a
+        # process looping over `yield Timeout(interval)` (now + delay
+        # accumulation, NOT first + k * interval).
+        interval = 0.1  # not exactly representable -> accumulation matters
+        sim = Simulator()
+        pool = TimeoutPool(sim, name="ticker")
+        ticks = []
+        handle = pool.add_recurring(interval, lambda: ticks.append(sim.now), first_at=0.0)
+        sim.schedule_at(2.0, handle.cancel)
+        sim.run()
+
+        reference_sim = Simulator()
+        reference = []
+
+        def loop():
+            from repro.simkernel import Timeout
+
+            while reference_sim.now <= 2.0:
+                reference.append(reference_sim.now)
+                yield Timeout(interval)
+
+        reference_sim.process(loop())
+        reference_sim.run()
+        assert ticks == reference[: len(ticks)]
+        assert len(ticks) >= 20
+
+    def test_cancel_from_inside_callback(self):
+        sim = Simulator()
+        pool = TimeoutPool(sim, name="ticker")
+        fired = []
+        handle = pool.add_recurring(1.0, lambda: (fired.append(sim.now), fired and len(fired) >= 3 and handle.cancel()))
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+        assert handle.cancelled
+        assert pool.pending == 0
+
+    def test_default_first_fire_is_one_interval_out(self):
+        sim = Simulator()
+        pool = TimeoutPool(sim, name="ticker")
+        fired = []
+        handle = pool.add_recurring(2.0, lambda: fired.append(sim.now))
+        sim.run(until=5.0)
+        handle.cancel()
+        assert fired == [2.0, 4.0]
+
+    def test_invalid_interval_rejected(self):
+        import pytest
+
+        sim = Simulator()
+        pool = TimeoutPool(sim, name="ticker")
+        with pytest.raises(ValueError):
+            pool.add_recurring(0.0, lambda: None)
