@@ -2,8 +2,8 @@
 """CI benchmark-regression gate.
 
 Runs the kernel-throughput, Fig. 8 scalability (time-only and numeric
-variants) and phone-tier benchmarks at reduced scale, writes the
-measurements to ``BENCH_ci.json``, and fails (exit 1)
+variants), phone-tier and multi-tenant scenario benchmarks at reduced
+scale, writes the measurements to ``BENCH_ci.json``, and fails (exit 1)
 when any gated metric regresses more than ``--tolerance`` (default 20%)
 against the committed baseline ``benchmarks/baseline_ci.json``.
 
@@ -36,6 +36,7 @@ from bench_fig8_scalability import (  # noqa: E402
 )
 from bench_kernel_throughput import measure_throughputs  # noqa: E402
 from bench_phone_tier import measure_phone_tier_speedup  # noqa: E402
+from bench_scenarios import CI_TENANTS, measure_scenario_ci  # noqa: E402
 
 #: Metrics checked against the committed baseline (20% tolerance after
 #: on-machine calibration absorbs runner-speed differences).
@@ -43,6 +44,7 @@ BASELINE_METRICS = (
     "calibrated_events_legacy",
     "calibrated_events_batched",
     "calibrated_events_pooled",
+    "calibrated_scenario_devices",
 )
 
 #: Speedup ratios gated by absolute floors instead of the baseline: a
@@ -65,6 +67,7 @@ CI_SWEEP_SCALE = 20_000
 CI_NUMERIC_SCALE = 10_000
 CI_PHONE_SCALE = 5_000
 CI_PHONE_FLEET = 256
+CI_SCENARIO_SCALE = 10_000
 
 
 def calibration_score(repeats: int = 3) -> float:
@@ -90,16 +93,19 @@ def run_benchmarks() -> dict:
     sweep = measure_sweep_speedup(CI_SWEEP_SCALE)
     numeric = measure_numeric_sweep_speedup(CI_NUMERIC_SCALE)
     phone = measure_phone_tier_speedup(CI_PHONE_SCALE, CI_PHONE_FLEET)
+    scenario = measure_scenario_ci(CI_SCENARIO_SCALE, n_tenants=CI_TENANTS)
     return {
         "calibration_ops_per_sec": calibration,
         "kernel": kernel,
         "sweep": sweep,
         "numeric_sweep": numeric,
         "phone_sweep": phone,
+        "scenario": scenario,
         "gated": {
             "calibrated_events_legacy": kernel["events_per_sec_legacy"] / calibration,
             "calibrated_events_batched": kernel["events_per_sec_batched"] / calibration,
             "calibrated_events_pooled": kernel["events_per_sec_pooled"] / calibration,
+            "calibrated_scenario_devices": scenario["devices_per_sec"] / calibration,
             "sweep_batched_speedup": sweep["batched_speedup"],
             "sweep_best_speedup": sweep["best_speedup"],
             "sweep_numeric_speedup": numeric["batched_speedup"],
@@ -147,7 +153,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print(
         f"Running CI benchmarks (events={CI_EVENT_SCALE}, sweep={CI_SWEEP_SCALE}, "
-        f"numeric={CI_NUMERIC_SCALE}, phone={CI_PHONE_SCALE}) ..."
+        f"numeric={CI_NUMERIC_SCALE}, phone={CI_PHONE_SCALE}, "
+        f"scenario={CI_SCENARIO_SCALE}x{CI_TENANTS}t) ..."
     )
     results = run_benchmarks()
     args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
@@ -165,6 +172,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not results["phone_sweep"]["identical"]:
         print("FAIL: wave-scheduled phone tier changed the simulated results")
+        return 1
+    if not results["scenario"]["identical"]:
+        print("FAIL: batched scenario replay changed the simulated report")
         return 1
 
     if args.update_baseline:

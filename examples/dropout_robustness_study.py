@@ -16,12 +16,12 @@ from repro.experiments.fig11 import run_fig11_dropout_impact
 from repro.experiments.render import format_table
 
 
-def main() -> None:
+def main(n_devices: int = 120, rounds: int = 10, feature_dim: int = 512) -> None:
     result = run_fig11_dropout_impact(
         dropouts=(0.0, 0.3, 0.7, 0.9),
-        n_devices=120,
-        rounds=10,
-        feature_dim=512,
+        n_devices=n_devices,
+        rounds=rounds,
+        feature_dim=feature_dim,
         seed=1,
     )
 

@@ -26,7 +26,7 @@ N_DEVICES = 100_000
 WINDOW_S = 24 * 60.0  # one simulated "day", 1 minute per hour
 
 
-def main() -> None:
+def main(n_devices: int = N_DEVICES, window_s: float = WINDOW_S) -> None:
     timezones = TimezoneMixture(seed=3)
     availability = DiurnalAvailability(night_peak=2.0, evening_peak=21.0)
     curve = population_traffic_curve(timezones, availability)
@@ -38,7 +38,7 @@ def main() -> None:
     service = AggregationService(
         sim,
         storage,
-        SampleThresholdTrigger(threshold_samples=10_000),
+        SampleThresholdTrigger(threshold_samples=max(100, n_devices // 10)),
         model=None,  # counting mode: the interest here is load, not ML
         name="global-agg",
     )
@@ -47,11 +47,11 @@ def main() -> None:
     flow = DeviceFlow(sim, streams=RandomStreams(3), capacity_per_second=700.0)
     flow.register_task(
         "day-replay",
-        TimeIntervalStrategy(curve, interval_seconds=WINDOW_S, failure_prob=0.02),
+        TimeIntervalStrategy(curve, interval_seconds=window_s, failure_prob=0.02),
         service.receive_message,
     )
     flow.round_started("day-replay", 1)
-    for i in range(N_DEVICES):
+    for i in range(n_devices):
         flow.submit(
             Message(task_id="day-replay", device_id=f"dev-{i}", round_index=1,
                     payload_ref=f"u/{i}", n_samples=1)
@@ -67,7 +67,7 @@ def main() -> None:
     # Cloud-side hourly load profile (each simulated minute = one hour).
     hourly = np.zeros(24, dtype=int)
     for t, n in service.receive_log:
-        hourly[min(23, int(t // 60.0))] += n
+        hourly[min(23, int(24 * t // window_s))] += n
     peak = hourly.max()
     print("cloud load by UTC hour (each bar = received updates):")
     for hour, count in enumerate(hourly):

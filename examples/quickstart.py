@@ -12,7 +12,8 @@ from repro import GradeRequirement, ResourceBundle, SimDC, TaskSpec
 from repro.ml import standard_fl_flow
 
 
-def main() -> None:
+def main(n_devices: int = 30, rounds: int = 3, feature_dim: int = 512) -> None:
+    """``n_devices`` is per grade; the defaults reproduce the full demo."""
     platform = SimDC()  # the paper's experimental environment, seeded
 
     task = TaskSpec(
@@ -20,7 +21,7 @@ def main() -> None:
         grades=[
             GradeRequirement(
                 grade="High",
-                n_devices=30,
+                n_devices=n_devices,
                 n_benchmark=1,          # one phone measured while training
                 bundles=40,             # 40 unit bundles -> 10 concurrent actors
                 n_phones=3,
@@ -28,16 +29,16 @@ def main() -> None:
             ),
             GradeRequirement(
                 grade="Low",
-                n_devices=30,
+                n_devices=n_devices,
                 n_benchmark=1,
                 bundles=60,
                 n_phones=3,
                 device_bundle=ResourceBundle(cpus=1, memory_gb=6),
             ),
         ],
-        rounds=3,
+        rounds=rounds,
         flow=standard_fl_flow(epochs=5, learning_rate=0.05),
-        feature_dim=512,
+        feature_dim=feature_dim,
         records_per_device=20,
     )
 

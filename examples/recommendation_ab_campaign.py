@@ -1,113 +1,108 @@
-"""Two recommendation teams share one SimDC deployment.
+"""Two recommendation teams share one SimDC deployment — as a scenario.
 
 The paper's motivating domain is device-cloud recommendation (CTR
-prediction).  This scenario runs a realistic platform day: a
-high-priority production retraining task and a lower-priority experiment
-arrive together, contend for the hybrid resource pool, and the Task
-Scheduler packs them greedily by priority while the Resource Manager
-freezes and releases capacity.
+prediction).  This example expresses the original hand-built two-task
+campaign as a *declarative scenario spec*: a high-priority production
+retraining tenant and a lower-priority experiment tenant arrive together
+(trace arrivals at t=0), contend for the hybrid resource pool, and the
+scenario engine replays the contention and distils per-tenant KPIs.
 
 Things to watch in the output:
 
-* the production task starts first and the experiment queues until
-  bundles free up;
-* each task gets its own hybrid allocation (the optimizer solves per-task
-  instances with different grade mixes);
-* per-task DeviceFlow statistics differ: production ships updates in
-  batches of 50, the experiment uses lossy real-time dispatch.
+* the production tenant is scheduled first (its priority wins the greedy
+  pass) and the experiment's queue-wait KPI shows it waiting for bundles;
+* per-tenant DeviceFlow statistics differ: production ships updates in
+  batches of 50, the experiment uses lossy real-time dispatch (dropout
+  shows up as `lost` updates in the report);
+* the whole campaign is one serializable dict — ``spec.to_dict()`` is a
+  config file away from running the same study at another scale.
 
 Run:  python examples/recommendation_ab_campaign.py
 """
 
-from repro import (
-    GradeRequirement,
-    RealTimeAccumulatedStrategy,
-    ResourceBundle,
-    SimDC,
-    TaskSpec,
+from repro.scenarios import (
+    ArrivalSpec,
+    DispatchSpec,
+    GradeSpec,
+    ScenarioSpec,
+    TenantSpec,
+    run_scenario,
 )
-from repro.ml import standard_fl_flow
 
 
-def production_task() -> TaskSpec:
-    """The nightly CTR model refresh: large, batched, high priority."""
-    return TaskSpec(
-        name="prod-ctr-refresh",
-        priority=10,
-        grades=[
-            GradeRequirement(
-                grade="High", n_devices=60, bundles=32, n_phones=3,
-                device_bundle=ResourceBundle(cpus=4, memory_gb=12),
+def campaign_scenario(device_scale: float = 1.0, feature_dim: int = 512) -> ScenarioSpec:
+    """The A/B campaign as plain data; ``device_scale`` shrinks smoke runs."""
+
+    def n(count: int) -> int:
+        return max(1, round(count * device_scale))
+
+    return ScenarioSpec(
+        name="recommendation_ab",
+        description="prod CTR refresh vs. A/B ranking experiment on one deployment",
+        seed=0,
+        horizon_s=600.0,
+        tenants=[
+            TenantSpec(
+                name="prod-ctr-refresh",
+                priority=10,
+                rounds=2,
+                numeric=True,
+                feature_dim=feature_dim,
+                records_per_device=15,
+                flow_epochs=5,
+                flow_learning_rate=0.05,
+                grades=[
+                    GradeSpec(
+                        grade="High", n_devices=n(60), bundles=32, n_phones=3,
+                        device_cpus=4, device_memory_gb=12,
+                    ),
+                    GradeSpec(
+                        grade="Low", n_devices=n(40), bundles=30, n_phones=3,
+                        device_cpus=1, device_memory_gb=6,
+                    ),
+                ],
+                arrival=ArrivalSpec(kind="trace", times=[0.0]),
+                dispatch=DispatchSpec(kind="realtime", thresholds=[50], failure_prob=0.0),
             ),
-            GradeRequirement(
-                grade="Low", n_devices=40, bundles=30, n_phones=3,
-                device_bundle=ResourceBundle(cpus=1, memory_gb=6),
+            TenantSpec(
+                name="exp-ranker-ab",
+                priority=1,
+                rounds=2,
+                numeric=True,
+                feature_dim=feature_dim,
+                records_per_device=15,
+                flow_epochs=5,
+                flow_learning_rate=0.05,
+                grades=[
+                    GradeSpec(
+                        grade="High", n_devices=n(40), bundles=160, n_phones=2,
+                        device_cpus=4, device_memory_gb=12,
+                    ),
+                ],
+                arrival=ArrivalSpec(kind="trace", times=[0.0]),
+                dispatch=DispatchSpec(kind="realtime", thresholds=[1], failure_prob=0.2),
             ),
         ],
-        rounds=2,
-        flow=standard_fl_flow(epochs=5, learning_rate=0.05),
-        deviceflow_strategy=RealTimeAccumulatedStrategy([50]),
-        feature_dim=512,
-        records_per_device=15,
-        dataset_seed=11,
     )
 
 
-def experiment_task() -> TaskSpec:
-    """An A/B ranking experiment: smaller, lossy uplink, low priority."""
-    return TaskSpec(
-        name="exp-ranker-ab",
-        priority=1,
-        grades=[
-            GradeRequirement(
-                grade="High", n_devices=40, bundles=160, n_phones=2,
-                device_bundle=ResourceBundle(cpus=4, memory_gb=12),
-            ),
-        ],
-        rounds=2,
-        flow=standard_fl_flow(epochs=5, learning_rate=0.05),
-        deviceflow_strategy=RealTimeAccumulatedStrategy([1], failure_prob=0.2),
-        feature_dim=512,
-        records_per_device=15,
-        dataset_seed=29,
-    )
+def main(device_scale: float = 1.0, feature_dim: int = 512) -> None:
+    spec = campaign_scenario(device_scale=device_scale, feature_dim=feature_dim)
+    report = run_scenario(spec)
 
-
-def main() -> None:
-    platform = SimDC()
-    prod = production_task()
-    experiment = experiment_task()
-    platform.submit(prod)
-    platform.submit(experiment)
-    platform.run_until_idle(max_time=1e8)
-
-    for spec in (prod, experiment):
-        result = platform.result(spec.task_id)
-        print(f"== {spec.name} (priority {spec.priority}) ==")
-        print(
-            f"  window: {result.started_at:.0f}s -> {result.finished_at:.0f}s "
-            f"({result.state.value})"
-        )
-        print(f"  allocation: {result.allocation.x} logical, T={result.allocation.total_time:.0f}s")
-        final = result.rounds[-1]
-        print(
-            f"  final round: {final.n_updates} updates, "
-            f"test acc {final.test_accuracy:.4f}"
-        )
-        if result.flow_stats is not None:
-            stats = result.flow_stats
-            print(
-                f"  deviceflow: received {stats.received}, delivered {stats.delivered}, "
-                f"dropped {stats.dropped}"
-            )
-        print()
-
-    prod_result = platform.result(prod.task_id)
-    exp_result = platform.result(experiment.task_id)
-    if exp_result.started_at >= prod_result.started_at:
+    for line in report.summary_lines():
+        print(line)
+    print()
+    prod = report.tenants["prod-ctr-refresh"]
+    exp = report.tenants["exp-ranker-ab"]
+    print(f"production queue wait: {prod.queue_wait.mean:.1f}s "
+          f"(priority {spec.tenants[0].priority} enters the cluster first)")
+    print(f"experiment queue wait: {exp.queue_wait.mean:.1f}s "
+          "(160 bundles must free up before it fits)")
+    print(f"experiment dropout losses: {exp.dropout_lost} of {exp.updates_expected} updates "
+          "(lossy real-time uplink)")
+    if exp.queue_wait.mean >= prod.queue_wait.mean:
         print("scheduling: production entered the cluster first, as its priority demands")
-    events = platform.monitor.of_kind("task_scheduled")
-    print("scheduling order:", [e.fields["task_id"] for e in events])
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ Each baseline offers two things:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.ml.client import FLClient
 from repro.ml.fedavg import fedavg

@@ -9,7 +9,6 @@ which feeds directly into DeviceFlow's time-interval strategy.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -58,7 +57,7 @@ class DiurnalAvailability:
         return np.minimum(delta, 24.0 - delta)
 
     def is_available(
-        self, local_hour: float, rng: Optional[np.random.Generator] = None
+        self, local_hour: float, rng: np.random.Generator | None = None
     ) -> bool:
         """Bernoulli availability draw for one device at one instant."""
         rng = rng or np.random.default_rng(0)
@@ -67,7 +66,7 @@ class DiurnalAvailability:
 
 def population_traffic_curve(
     timezones: TimezoneMixture,
-    availability: Optional[DiurnalAvailability] = None,
+    availability: DiurnalAvailability | None = None,
     name: str = "population-diurnal",
 ) -> TrafficCurve:
     """Aggregate upload-rate curve of a timezone-mixed population over UTC.

@@ -8,7 +8,7 @@ the physical grounding of DeviceFlow's dropout probabilities.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -11,7 +11,8 @@ implemented here and drive Figs. 9 and 11.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
@@ -32,24 +33,24 @@ class AggregationRecord:
     time: float
     n_updates: int
     n_samples: int
-    test_loss: Optional[float] = None
-    test_accuracy: Optional[float] = None
-    test_auc: Optional[float] = None
-    train_loss: Optional[float] = None
-    train_accuracy: Optional[float] = None
+    test_loss: float | None = None
+    test_accuracy: float | None = None
+    test_auc: float | None = None
+    train_loss: float | None = None
+    train_accuracy: float | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
 
 class AggregationTrigger:
     """Base trigger; subclasses decide *when* the buffer folds."""
 
-    def start(self, service: "AggregationService") -> None:
+    def start(self, service: AggregationService) -> None:
         """Called once when the service starts (schedule timers here)."""
 
-    def on_update(self, service: "AggregationService") -> None:
+    def on_update(self, service: AggregationService) -> None:
         """Called after every buffered update."""
 
-    def stop(self, service: "AggregationService") -> None:
+    def stop(self, service: AggregationService) -> None:
         """Called when the service shuts down."""
 
 
@@ -61,7 +62,7 @@ class SampleThresholdTrigger(AggregationTrigger):
             raise ValueError("threshold_samples must be positive")
         self.threshold_samples = int(threshold_samples)
 
-    def on_update(self, service: "AggregationService") -> None:
+    def on_update(self, service: AggregationService) -> None:
         while service.pending_samples >= self.threshold_samples:
             service.aggregate_now()
 
@@ -73,7 +74,7 @@ class ScheduledTrigger(AggregationTrigger):
     timed-aggregation deployments that no-op on idle periods.
     """
 
-    def __init__(self, period_s: float, max_rounds: Optional[int] = None) -> None:
+    def __init__(self, period_s: float, max_rounds: int | None = None) -> None:
         if period_s <= 0:
             raise ValueError("period_s must be positive")
         if max_rounds is not None and max_rounds <= 0:
@@ -83,20 +84,20 @@ class ScheduledTrigger(AggregationTrigger):
         self._fired = 0
         self._stopped = False
 
-    def start(self, service: "AggregationService") -> None:
+    def start(self, service: AggregationService) -> None:
         self._schedule_next(service)
 
-    def stop(self, service: "AggregationService") -> None:
+    def stop(self, service: AggregationService) -> None:
         self._stopped = True
 
-    def _schedule_next(self, service: "AggregationService") -> None:
+    def _schedule_next(self, service: AggregationService) -> None:
         if self._stopped:
             return
         if self.max_rounds is not None and self._fired >= self.max_rounds:
             return
         service.sim.schedule(self.period_s, self._fire, service)
 
-    def _fire(self, service: "AggregationService") -> None:
+    def _fire(self, service: AggregationService) -> None:
         if self._stopped:
             return
         self._fired += 1
@@ -142,12 +143,12 @@ class AggregationService:
         sim: Simulator,
         storage: ObjectStorage,
         trigger: AggregationTrigger,
-        model: Optional[LogisticRegressionModel] = None,
-        test_set: Optional[DeviceDataset] = None,
-        train_eval_shards: Optional[dict[str, DeviceDataset]] = None,
+        model: LogisticRegressionModel | None = None,
+        test_set: DeviceDataset | None = None,
+        train_eval_shards: dict[str, DeviceDataset] | None = None,
         train_eval_full: bool = False,
-        on_global_model: Optional[Callable[[int, np.ndarray, float], None]] = None,
-        db: Optional[MetricsDatabase] = None,
+        on_global_model: Callable[[int, np.ndarray, float], None] | None = None,
+        db: MetricsDatabase | None = None,
         name: str = "aggregation",
     ) -> None:
         self.sim = sim

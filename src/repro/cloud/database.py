@@ -10,7 +10,8 @@ monitoring views and the experiment harness.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
+from typing import Any
 
 
 class MetricsDatabase:
@@ -38,7 +39,7 @@ class MetricsDatabase:
     def query(
         self,
         table: str,
-        where: Optional[Callable[[dict[str, Any]], bool]] = None,
+        where: Callable[[dict[str, Any]], bool] | None = None,
         **equals: Any,
     ) -> list[dict[str, Any]]:
         """Records matching the predicate and/or field-equality filters.
@@ -68,7 +69,7 @@ class MetricsDatabase:
         """One field across matching records (missing fields skipped)."""
         return [row[field] for row in self.query(table, **equals) if field in row]
 
-    def clear(self, table: Optional[str] = None) -> None:
+    def clear(self, table: str | None = None) -> None:
         """Drop one table, or everything."""
         if table is None:
             self._tables.clear()

@@ -11,7 +11,8 @@ units per device runs ``f/k`` actors concurrently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Optional
+from collections.abc import Callable, Generator
+from typing import Any
 
 import numpy as np
 
@@ -34,7 +35,7 @@ class DeviceAssignment:
     device_id: str
     grade: str
     n_samples: int
-    dataset: Optional[DeviceDataset] = None
+    dataset: DeviceDataset | None = None
 
     def __post_init__(self) -> None:
         if self.n_samples <= 0:
@@ -50,7 +51,7 @@ class DeviceRoundOutcome:
     round_index: int
     n_samples: int
     payload_bytes: int
-    update: Optional[Any]  # ModelUpdate when the run is numeric
+    update: Any | None  # ModelUpdate when the run is numeric
     finished_at: float
 
 
@@ -80,7 +81,7 @@ class SimActor:
         grade: str,
         cost_model: LogicalCostModel,
         backend: NumericBackend = SERVER_BACKEND,
-        streams: Optional[RandomStreams] = None,
+        streams: RandomStreams | None = None,
     ) -> None:
         self.sim = sim
         self.actor_id = actor_id
@@ -103,7 +104,7 @@ class SimActor:
         assignments: list[DeviceAssignment],
         round_index: int,
         flow: OperatorFlow,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
         feature_dim: int,
         model_bytes: int,
@@ -151,7 +152,7 @@ class SimActor:
         assignment: DeviceAssignment,
         round_index: int,
         flow: OperatorFlow,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
         feature_dim: int,
     ):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.cluster.placement import BundlePlacement, PlacementGroup, PlacementStrategy
 from repro.cluster.resources import NodeSpec, ResourceBundle, WorkerNode
@@ -31,7 +31,7 @@ class K8sCluster:
             self.add_node(spec)
 
     @classmethod
-    def default_experiment_cluster(cls) -> "K8sCluster":
+    def default_experiment_cluster(cls) -> K8sCluster:
         """The paper's Ray cluster: 200 CPU cores, 300 GB memory.
 
         Modelled as 10 nodes of 20 cores / 30 GB each, a typical k8s
@@ -92,7 +92,7 @@ class K8sCluster:
         self,
         bundles: Sequence[ResourceBundle],
         strategy: PlacementStrategy = PlacementStrategy.PACK,
-    ) -> Optional[PlacementGroup]:
+    ) -> PlacementGroup | None:
         """Atomically place every bundle, or place nothing and return None."""
         placements = self._place(bundles, strategy, commit=True)
         if placements is None:
@@ -120,7 +120,7 @@ class K8sCluster:
         bundles: Sequence[ResourceBundle],
         strategy: PlacementStrategy,
         commit: bool,
-    ) -> Optional[list[tuple[WorkerNode, ResourceBundle]]]:
+    ) -> list[tuple[WorkerNode, ResourceBundle]] | None:
         """Find (and optionally commit) a node for every bundle.
 
         Placement works against shadow free-capacity counters so a failed

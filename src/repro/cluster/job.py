@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Any, Callable, Generator, Optional
+from collections.abc import Callable, Generator
+from typing import Any
 
 from repro.simkernel import Process, Signal, Simulator
 
@@ -32,15 +33,15 @@ class RayJob:
         self.name = name or self.job_id
         self.body = body
         self.state = JobState.PENDING
-        self.submitted_at: Optional[float] = None
-        self.started_at: Optional[float] = None
-        self.finished_at: Optional[float] = None
+        self.submitted_at: float | None = None
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
         self.result: Any = None
-        self.error: Optional[BaseException] = None
+        self.error: BaseException | None = None
         self.completion = Signal(name=f"{self.job_id}.completion")
-        self._process: Optional[Process] = None
+        self._process: Process | None = None
 
-    def submit(self, sim: Simulator) -> "RayJob":
+    def submit(self, sim: Simulator) -> RayJob:
         """Start the job body as a simulation process."""
         if self.submitted_at is not None:
             raise RuntimeError(f"job {self.job_id} was already submitted")
@@ -66,7 +67,7 @@ class RayJob:
         return result
 
     @property
-    def duration(self) -> Optional[float]:
+    def duration(self) -> float | None:
         """Wall (simulated) run time once finished."""
         if self.started_at is None or self.finished_at is None:
             return None

@@ -24,7 +24,7 @@ class ResourceBundle:
         if self.cpus == 0 and self.memory_gb == 0 and self.gpus == 0:
             raise ValueError("bundle must request at least one resource")
 
-    def units_relative_to(self, unit: "ResourceBundle") -> int:
+    def units_relative_to(self, unit: ResourceBundle) -> int:
         """How many ``unit`` bundles this bundle consumes (the paper's k).
 
         The count is the max over resource dimensions, rounded up: a
@@ -44,7 +44,7 @@ class ResourceBundle:
 
         return max(1, math.ceil(max(ratios)))
 
-    def scaled(self, factor: float) -> "ResourceBundle":
+    def scaled(self, factor: float) -> ResourceBundle:
         """A bundle ``factor`` times this one's size."""
         if factor <= 0:
             raise ValueError("factor must be positive")

@@ -10,7 +10,7 @@ fans rounds out across the actors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, Optional
+from collections.abc import Callable, Generator
 
 import numpy as np
 
@@ -87,7 +87,7 @@ class GradeExecutionPlan:
 
 
 def package_update(
-    plan: "GradeExecutionPlan",
+    plan: GradeExecutionPlan,
     round_index: int,
     assignment: DeviceAssignment,
     weights_row: np.ndarray,
@@ -120,12 +120,12 @@ class ColumnarOutcomes:
     constructions.
     """
 
-    plan: "GradeExecutionPlan"
+    plan: GradeExecutionPlan
     round_index: int
     payload_bytes: int
     finished_at: np.ndarray
-    update_weights: Optional[np.ndarray] = None  # (n_devices, feature_dim)
-    update_biases: Optional[np.ndarray] = None  # (n_devices,)
+    update_weights: np.ndarray | None = None  # (n_devices, feature_dim)
+    update_biases: np.ndarray | None = None  # (n_devices,)
 
     def __len__(self) -> int:
         return len(self.finished_at)
@@ -134,7 +134,7 @@ class ColumnarOutcomes:
         """Per-device FedAvg sample counts, in block (assignment) order."""
         return np.array([a.n_samples for a in self.plan.assignments], dtype=np.int64)
 
-    def _update_at(self, position: int) -> Optional[ModelUpdate]:
+    def _update_at(self, position: int) -> ModelUpdate | None:
         if self.update_weights is None or self.update_biases is None:
             return None
         return package_update(
@@ -275,8 +275,8 @@ class LogicalSimulation:
         self,
         sim: Simulator,
         cluster: K8sCluster,
-        cost_model: Optional[LogicalCostModel] = None,
-        streams: Optional[RandomStreams] = None,
+        cost_model: LogicalCostModel | None = None,
+        streams: RandomStreams | None = None,
         batch: bool = True,
     ) -> None:
         self.sim = sim
@@ -286,7 +286,7 @@ class LogicalSimulation:
         self.batch = batch
         self.plans: list[GradeExecutionPlan] = []
         self.actors: dict[str, list[SimActor]] = {}
-        self.placement_group: Optional[PlacementGroup] = None
+        self.placement_group: PlacementGroup | None = None
         self.rounds: list[RoundResult] = []
         self._pool = TimeoutPool(sim, name="logical-tier")
 
@@ -344,10 +344,10 @@ class LogicalSimulation:
     def run_round(
         self,
         round_index: int,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
         model_bytes: int,
-        on_outcome: Optional[Callable[[DeviceRoundOutcome], None]] = None,
+        on_outcome: Callable[[DeviceRoundOutcome], None] | None = None,
     ) -> Generator:
         """Execute one round across every grade's actors; barrier at end.
 
@@ -430,7 +430,7 @@ class LogicalSimulation:
         self,
         plan: GradeExecutionPlan,
         round_index: int,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
     ) -> tuple[np.ndarray, np.ndarray, int]:
         """Run a numeric plan's flow as stacked per-wave blocks.
@@ -494,11 +494,11 @@ class LogicalSimulation:
         self,
         plan: GradeExecutionPlan,
         round_index: int,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
         model_bytes: int,
         result: RoundResult,
-        collect: Optional[Callable[[DeviceRoundOutcome], None]],
+        collect: Callable[[DeviceRoundOutcome], None] | None,
         plan_done: Callable[[], None],
     ) -> None:
         """Register one batched plan's whole round in the timeout pool.
@@ -533,8 +533,8 @@ class LogicalSimulation:
         n_actors = len(actors)
         cost = self.cost_model
         duration = cost.device_round_duration(plan.grade, plan.flow.total_work)
-        update_weights: Optional[np.ndarray] = None
-        update_biases: Optional[np.ndarray] = None
+        update_weights: np.ndarray | None = None
+        update_biases: np.ndarray | None = None
         upload_bytes = model_bytes
         if plan.numeric:
             update_weights, update_biases, payload = self._execute_numeric_waves(

@@ -39,7 +39,6 @@ from __future__ import annotations
 import multiprocessing
 import traceback
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 import numpy as np
 
@@ -54,7 +53,7 @@ from repro.simkernel import RandomStreams, Simulator
 #: Module-level slot used to hand payloads to forked workers without
 #: pickling them through the pipe (the plans of a 100k-device sweep are far
 #: bigger than the compact reports coming back).
-_FORK_PAYLOADS: Optional[list["_ShardPayload"]] = None
+_FORK_PAYLOADS: list["_ShardPayload"] | None = None
 
 #: Seconds the parent waits for a worker to acknowledge ``stop``.
 _SHUTDOWN_TIMEOUT_S = 10.0
@@ -86,7 +85,7 @@ class _ShardRoundReport:
     n_devices: int
     payload_bytes: int
     finished_times: np.ndarray
-    outcomes: Optional[list[DeviceRoundOutcome]]
+    outcomes: list[DeviceRoundOutcome] | None
 
 
 @dataclass
@@ -99,7 +98,7 @@ class MergedRound:
     n_devices: int
     payload_bytes: int
     finished_times: np.ndarray  # sorted ascending
-    outcomes: Optional[list[DeviceRoundOutcome]]  # sorted by (finished_at, device_id)
+    outcomes: list[DeviceRoundOutcome] | None  # sorted by (finished_at, device_id)
 
     @property
     def duration(self) -> float:
@@ -119,7 +118,7 @@ class ShardedRunResult:
     n_shards: int
     rounds: list[MergedRound] = field(default_factory=list)
     weights_history: list[tuple[np.ndarray, float]] = field(default_factory=list)
-    global_weights: Optional[np.ndarray] = None
+    global_weights: np.ndarray | None = None
     global_bias: float = 0.0
 
     @property
@@ -214,7 +213,7 @@ class _ShardSession:
         self,
         round_index: int,
         barrier: float,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
     ) -> tuple[_ShardRoundReport, FedAvgPartial]:
         """Advance the shard clock to ``barrier``, then run one round.
@@ -251,7 +250,7 @@ class _ShardSession:
         self.logical.teardown()
 
 
-def _shard_worker_main(conn, payload_index: int, payload: Optional[_ShardPayload]) -> None:
+def _shard_worker_main(conn, payload_index: int, payload: _ShardPayload | None) -> None:
     """Worker entry point: serve rounds over the pipe until ``stop``.
 
     ``payload`` is None under ``fork`` (read from inherited memory via
@@ -294,7 +293,7 @@ class _InProcessShards:
         self,
         round_index: int,
         barrier: float,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
     ) -> list[tuple[_ShardRoundReport, FedAvgPartial]]:
         return [
@@ -355,7 +354,7 @@ class _WorkerShards:
         self,
         round_index: int,
         barrier: float,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
     ) -> list[tuple[_ShardRoundReport, FedAvgPartial]]:
         for conn in self.connections:
@@ -406,7 +405,7 @@ class ShardedLogicalSimulation:
     def __init__(
         self,
         node_specs: list[NodeSpec],
-        cost_model: Optional[LogicalCostModel] = None,
+        cost_model: LogicalCostModel | None = None,
         n_shards: int = 1,
         seed: int = 0,
         batch: bool = True,
@@ -455,7 +454,7 @@ class ShardedLogicalSimulation:
         plans: list[GradeExecutionPlan],
         n_rounds: int = 1,
         model_bytes: int = 0,
-        global_weights: Optional[np.ndarray] = None,
+        global_weights: np.ndarray | None = None,
         global_bias: float = 0.0,
         collect_outcomes: bool = True,
     ) -> ShardedRunResult:
@@ -526,7 +525,7 @@ class ShardedLogicalSimulation:
         for round_pos in range(n_rounds):
             per_shard = [reports[round_pos] for reports in shard_reports if len(reports) > round_pos]
             times = np.sort(np.concatenate([r.finished_times for r in per_shard]))
-            outcomes: Optional[list[DeviceRoundOutcome]] = None
+            outcomes: list[DeviceRoundOutcome] | None = None
             if all(r.outcomes is not None for r in per_shard):
                 outcomes = sorted(
                     (o for r in per_shard for o in r.outcomes),

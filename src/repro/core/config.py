@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.cluster.cost import LogicalCostModel
 from repro.cluster.resources import NodeSpec, ResourceBundle
@@ -58,8 +58,8 @@ class PlatformConfig:
     unit_bundle: ResourceBundle = field(
         default_factory=lambda: ResourceBundle(cpus=1.0, memory_gb=1.0)
     )
-    logical_cost: Optional[LogicalCostModel] = None
-    physical_cost: Optional[PhysicalCostModel] = None
+    logical_cost: LogicalCostModel | None = None
+    physical_cost: PhysicalCostModel | None = None
     poll_interval: float = 1.0
     scheduling_interval: float = 5.0
     batch: bool = True

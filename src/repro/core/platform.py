@@ -18,16 +18,18 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from repro.cloud.database import MetricsDatabase
 from repro.cloud.monitor import Monitor
 from repro.cloud.storage import ObjectStorage
 from repro.cluster.cluster import K8sCluster
+from repro.cluster.cost import LogicalCostModel
 from repro.core.config import PlatformConfig
 from repro.data.avazu import FederatedDataset
 from repro.deviceflow.controller import DeviceFlow
 from repro.phones.adb import SimulatedAdb
+from repro.phones.cost import PhysicalCostModel
 from repro.phones.msp import MobileServicePlatform
 from repro.phones.phone import VirtualPhone
 from repro.scheduler.resource_manager import ResourceManager
@@ -47,7 +49,7 @@ class SimDC:
     whole deployment advances by running the simulator.
     """
 
-    def __init__(self, config: Optional[PlatformConfig] = None) -> None:
+    def __init__(self, config: PlatformConfig | None = None) -> None:
         self.config = config or PlatformConfig()
         self.sim = Simulator()
         self.streams = RandomStreams(self.config.seed)
@@ -92,31 +94,52 @@ class SimDC:
     def submit(
         self,
         spec: TaskSpec,
-        fixed_allocation: Optional[dict[str, int]] = None,
-        dataset: Optional[FederatedDataset] = None,
+        fixed_allocation: dict[str, int] | None = None,
+        dataset: FederatedDataset | None = None,
+        at: float | None = None,
+        logical_cost: LogicalCostModel | None = None,
+        physical_cost: PhysicalCostModel | None = None,
     ) -> TaskSpec:
-        """Queue a task; optional overrides for allocation and data.
+        """Queue a task; optional overrides for arrival, allocation and data.
 
         ``fixed_allocation`` maps grade name to the logical-tier device
         count, bypassing the optimizer (used by the Type 1-5 ratio
         studies); ``dataset`` supplies a pre-built federated dataset
-        instead of the spec-derived synthetic one.
+        instead of the spec-derived synthetic one.  ``at`` defers the
+        submission to an absolute simulated time (the scenario engine
+        schedules whole task streams this way); ``logical_cost`` /
+        ``physical_cost`` replace the platform-wide cost models for this
+        task only (straggler injection slows a tenant down with scaled
+        copies).
         """
         options: dict[str, Any] = {}
         if fixed_allocation is not None:
             options["fixed_allocation"] = dict(fixed_allocation)
         if dataset is not None:
             options["dataset"] = dataset
+        if logical_cost is not None:
+            options["logical_cost"] = logical_cost
+        if physical_cost is not None:
+            options["physical_cost"] = physical_cost
         self._runner_options[spec.task_id] = options
+        if at is not None:
+            return self.task_manager.submit_at(spec, at)
         return self.task_manager.submit(spec)
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: float | None = None, *, batch: bool = False) -> float:
         """Advance simulated time (see :meth:`Simulator.run`)."""
-        return self.sim.run(until=until)
+        return self.sim.run(until=until, batch=batch)
 
-    def run_until_idle(self, max_time: Optional[float] = None) -> float:
-        """Run until every submitted task reaches a terminal state."""
-        return self.sim.run_until(lambda: self.task_manager.all_idle, max_time=max_time)
+    def run_until_idle(self, max_time: float | None = None, *, batch: bool = False) -> float:
+        """Run until every submitted task reaches a terminal state.
+
+        ``batch=True`` drives the kernel's same-timestamp batch loop (the
+        scenario engine passes the platform's configured mode through);
+        the default per-event loop is kept for drop-in compatibility.
+        """
+        return self.sim.run_until(
+            lambda: self.task_manager.all_idle, max_time=max_time, batch=batch
+        )
 
     def result(self, task_id: str) -> TaskResult:
         """Result of a completed task."""
@@ -174,8 +197,8 @@ class SimDC:
             adb=self.adb,
             storage=self.storage,
             deviceflow=self.deviceflow,
-            logical_cost=self.config.logical_cost,
-            physical_cost=self.config.physical_cost,
+            logical_cost=options.get("logical_cost") or self.config.logical_cost,
+            physical_cost=options.get("physical_cost") or self.config.physical_cost,
             streams=self.streams,
             busy_registry=self._busy_registry,
             db=self.db,

@@ -10,7 +10,7 @@ the paper's non-IID experiments (Fig. 9, Fig. 11) rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -118,7 +118,7 @@ class FederatedDataset:
         """Return the shard of one device."""
         return self.devices[device_id]
 
-    def subset(self, device_ids: Sequence[str]) -> "FederatedDataset":
+    def subset(self, device_ids: Sequence[str]) -> FederatedDataset:
         """A view restricted to ``device_ids`` (same test shard)."""
         return FederatedDataset(
             devices={d: self.devices[d] for d in device_ids},
@@ -203,7 +203,7 @@ class SyntheticAvazu:
 
     def generate(
         self,
-        device_biases: Optional[np.ndarray] = None,
+        device_biases: np.ndarray | None = None,
         test_records: int = 2000,
     ) -> FederatedDataset:
         """Create the federated dataset.
@@ -328,7 +328,7 @@ def make_federated_ctr_data(
     records_per_device: int = 20,
     feature_dim: int = 4096,
     seed: int = 0,
-    skew: Optional[dict] = None,
+    skew: dict | None = None,
     test_records: int = 2000,
     base_ctr: float = 0.17,
 ) -> FederatedDataset:

@@ -12,7 +12,7 @@ Three concerns live here:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

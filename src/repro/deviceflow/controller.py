@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.deviceflow.dispatcher import Dispatcher
 from repro.deviceflow.messages import Message
@@ -53,7 +53,7 @@ class DeviceFlow:
     def __init__(
         self,
         sim: Simulator,
-        streams: Optional[RandomStreams] = None,
+        streams: RandomStreams | None = None,
         capacity_per_second: float = 700.0,
     ) -> None:
         self.sim = sim
@@ -62,6 +62,7 @@ class DeviceFlow:
         self.sorter = Sorter()
         self._dispatchers: dict[str, Dispatcher] = {}
         self._received: dict[str, int] = {}
+        self._capacity_scale = 1.0
 
     # ------------------------------------------------------------------
     # task registration
@@ -82,7 +83,7 @@ class DeviceFlow:
             shelf,
             strategy,
             downstream,
-            capacity_per_second=self.capacity_per_second,
+            capacity_per_second=self.capacity_per_second * self._capacity_scale,
             rng=self.streams.get(f"deviceflow.{task_id}"),
         )
         self._dispatchers[task_id] = dispatcher
@@ -134,6 +135,29 @@ class DeviceFlow:
     # ------------------------------------------------------------------
     # control plane (round lifecycle from the platform)
     # ------------------------------------------------------------------
+    def set_capacity_scale(self, scale: float) -> float:
+        """Rescale transmission capacity for all current and future tasks.
+
+        Models network-tier degradation windows: a scenario's fault plan
+        drops the scale below 1.0 for a window and restores it afterwards.
+        Every registered dispatcher's ``capacity_per_second`` is reset to
+        ``base * scale`` (never accumulated, so repeated calls cannot
+        drift), and dispatchers registered while the window is open start
+        degraded.  Returns the previous scale.
+        """
+        if scale <= 0:
+            raise ValueError("capacity scale must be positive")
+        previous = self._capacity_scale
+        self._capacity_scale = float(scale)
+        for dispatcher in self._dispatchers.values():
+            dispatcher.capacity_per_second = self.capacity_per_second * self._capacity_scale
+        return previous
+
+    @property
+    def capacity_scale(self) -> float:
+        """The currently applied degradation scale (1.0 = healthy)."""
+        return self._capacity_scale
+
     def round_started(self, task_id: str, round_index: int) -> None:
         """Signal that a task's round began computing."""
         self._require(task_id).round_started(round_index)

@@ -11,7 +11,7 @@ right-tailed normals of Figs. 9-10).
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

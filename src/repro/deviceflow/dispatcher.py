@@ -14,7 +14,8 @@ effect visible in Fig. 10(b).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator, Optional
+from collections.abc import Callable, Generator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -54,10 +55,10 @@ class Dispatcher:
         self,
         sim: Simulator,
         shelf: Shelf,
-        strategy: "DispatchStrategy",
+        strategy: DispatchStrategy,
         downstream: Callable[[Message], None],
         capacity_per_second: float = 700.0,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         if capacity_per_second <= 0:
             raise ValueError("capacity_per_second must be positive")

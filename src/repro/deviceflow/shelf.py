@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
 
 from repro.deviceflow.messages import Message
 
@@ -21,7 +20,7 @@ class Shelf:
         if not task_id:
             raise ValueError("task_id must be non-empty")
         self.task_id = task_id
-        self._messages: Deque[Message] = deque()
+        self._messages: deque[Message] = deque()
         self.total_stored = 0
 
     def __len__(self) -> int:
@@ -49,6 +48,6 @@ class Shelf:
         """Drain the shelf."""
         return self.take(len(self._messages))
 
-    def peek_oldest(self) -> Optional[Message]:
+    def peek_oldest(self) -> Message | None:
         """Oldest buffered message without removing it."""
         return self._messages[0] if self._messages else None

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.deviceflow.messages import Message
 from repro.deviceflow.shelf import Shelf
@@ -16,7 +16,7 @@ class Sorter:
     storage based on the task_id within the messages" (§V-A).
     """
 
-    def __init__(self, on_stored: Optional[Callable[[Message], None]] = None) -> None:
+    def __init__(self, on_stored: Callable[[Message], None] | None = None) -> None:
         self._shelves: dict[str, Shelf] = {}
         self._on_stored = on_stored
         self.total_routed = 0

@@ -18,7 +18,7 @@ Two families exist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.deviceflow.curves import TrafficCurve
 from repro.deviceflow.discretize import DispatchTick, discretize_curve
@@ -187,10 +187,10 @@ class TimeIntervalStrategy(DispatchStrategy):
         curve: TrafficCurve,
         interval_seconds: float,
         relative: bool = True,
-        start_time: Optional[float] = None,
+        start_time: float | None = None,
         failure_prob: float = 0.0,
         discard_per_tick: int = 0,
-        tick_width: Optional[float] = None,
+        tick_width: float | None = None,
     ) -> None:
         if interval_seconds <= 0:
             raise ValueError("interval_seconds must be positive")

@@ -15,7 +15,6 @@ mechanism, not an ad-hoc coin flip.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -49,7 +48,7 @@ class DropoutImpactResult:
 
 def _run_setting(
     dropout: float,
-    skew: Optional[dict],
+    skew: dict | None,
     n_devices: int,
     rounds: int,
     feature_dim: int,

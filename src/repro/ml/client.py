@@ -7,7 +7,7 @@ loop as stacked NumPy matrices, bit-identical per device.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class FLClient:
         epochs: int = 10,
         learning_rate: float = 1e-3,
         batch_size: int = 32,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         if epochs <= 0:
             raise ValueError("epochs must be positive")
@@ -132,7 +132,7 @@ class BlockTrainer:
         weights: np.ndarray,
         biases: np.ndarray,
         datasets: Sequence[DeviceDataset],
-        rngs: Optional[Sequence[Optional[np.random.Generator]]] = None,
+        rngs: Sequence[Optional[np.random.Generator]] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Refine per-device parameters in place of the per-device loop.
 
@@ -170,7 +170,7 @@ class BlockTrainer:
         global_weights: np.ndarray,
         global_bias: float,
         datasets: Sequence[DeviceDataset],
-        rngs: Optional[Sequence[Optional[np.random.Generator]]] = None,
+        rngs: Sequence[Optional[np.random.Generator]] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Broadcast one global model over the block, then :meth:`train`."""
         global_weights = np.asarray(global_weights, dtype=np.float64)

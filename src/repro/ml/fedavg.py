@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -100,7 +101,7 @@ class _ExactVectorSum:
     #: Distill the expansion once it grows past this many components.
     _MAX_COMPONENTS = 32
 
-    def __init__(self, components: Optional[list[np.ndarray]] = None) -> None:
+    def __init__(self, components: list[np.ndarray] | None = None) -> None:
         self.components: list[np.ndarray] = list(components or [])
 
     def add(self, vector: np.ndarray) -> None:
@@ -158,7 +159,7 @@ class _ExactVectorSum:
         for component in components:
             self.add(component)
 
-    def merge(self, other: "_ExactVectorSum") -> None:
+    def merge(self, other: _ExactVectorSum) -> None:
         """Fold another exact sum in (still exact)."""
         for component in other.components:
             self.add(component)
@@ -190,12 +191,12 @@ class FedAvgPartial:
     dim: int
 
     @classmethod
-    def empty(cls) -> "FedAvgPartial":
+    def empty(cls) -> FedAvgPartial:
         """The identity element of :meth:`merge`."""
         return cls(components=np.zeros((0, 0)), total_samples=0, n_updates=0, dim=-1)
 
     @classmethod
-    def from_updates(cls, updates: Iterable[ModelUpdate]) -> "FedAvgPartial":
+    def from_updates(cls, updates: Iterable[ModelUpdate]) -> FedAvgPartial:
         """Fold an update iterable; shape-checks like flat :func:`fedavg`."""
         updates = list(updates)
         if not updates:
@@ -220,7 +221,7 @@ class FedAvgPartial:
     @classmethod
     def from_arrays(
         cls, weights: np.ndarray, biases: np.ndarray, n_samples: np.ndarray
-    ) -> "FedAvgPartial":
+    ) -> FedAvgPartial:
         """Fold columnar updates: ``weights (k, dim)``, ``biases (k,)``, ``n_samples (k,)``.
 
         Produces the same partial as :meth:`from_updates` over the
@@ -240,7 +241,7 @@ class FedAvgPartial:
     @classmethod
     def _from_stacked(
         cls, stacked: np.ndarray, samples: np.ndarray, total: int, count: int
-    ) -> "FedAvgPartial":
+    ) -> FedAvgPartial:
         # The per-update product rounds once (elementwise, so identical for
         # any grouping of updates into partials); the running sum is exact.
         products = stacked * samples[:, None]
@@ -259,7 +260,7 @@ class FedAvgPartial:
         )
 
     @staticmethod
-    def merge(partials: Sequence["FedAvgPartial"]) -> "FedAvgPartial":
+    def merge(partials: Sequence["FedAvgPartial"]) -> FedAvgPartial:
         """Fold shard partials into one (exact, hence order-independent)."""
         filled = [p for p in partials if p.dim >= 0]
         if not filled:

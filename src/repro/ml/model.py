@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import struct
-from typing import Optional
 
 import numpy as np
 
@@ -70,7 +69,7 @@ class LogisticRegressionModel:
         learning_rate: float = 1e-3,
         batch_size: int = 32,
         l2: float = 0.0,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         """Train in place with the paper's local-SGD recipe."""
         optimizer = SGD(learning_rate=learning_rate, l2=l2, batch_size=batch_size)
@@ -95,7 +94,7 @@ class LogisticRegressionModel:
         self.weights = weights.copy()
         self.bias = float(bias)
 
-    def clone(self, backend: Optional[NumericBackend] = None) -> "LogisticRegressionModel":
+    def clone(self, backend: NumericBackend | None = None) -> LogisticRegressionModel:
         """A deep copy, optionally re-targeted at another backend."""
         other = LogisticRegressionModel(self.feature_dim, backend or self.backend)
         other.set_params(self.weights, self.bias)
@@ -114,7 +113,7 @@ class LogisticRegressionModel:
     @classmethod
     def deserialize(
         cls, payload: bytes, backend: NumericBackend = SERVER_BACKEND
-    ) -> "LogisticRegressionModel":
+    ) -> LogisticRegressionModel:
         """Inverse of :meth:`serialize`."""
         magic, version, feature_dim = _HEADER.unpack_from(payload)
         if magic != _MAGIC:

@@ -11,7 +11,8 @@ numeric effect of the flow runs eagerly in wall time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -52,10 +53,10 @@ class OperatorContext:
     dataset: DeviceDataset
     feature_dim: int
     backend: NumericBackend = SERVER_BACKEND
-    global_weights: Optional[np.ndarray] = None
+    global_weights: np.ndarray | None = None
     global_bias: float = 0.0
     round_index: int = 1
-    rng: Optional[np.random.Generator] = None
+    rng: np.random.Generator | None = None
     outputs: dict[str, Any] = field(default_factory=dict)
 
 
@@ -81,10 +82,10 @@ class BlockOperatorContext:
     datasets: list[DeviceDataset]
     feature_dim: int
     backend: NumericBackend = SERVER_BACKEND
-    global_weights: Optional[np.ndarray] = None
+    global_weights: np.ndarray | None = None
     global_bias: float = 0.0
     round_index: int = 1
-    rngs: Optional[list[Optional[np.random.Generator]]] = None
+    rngs: list[Optional[np.random.Generator]] | None = None
     outputs: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -225,7 +226,7 @@ class EvalOp(Operator):
         groups: dict[int, list[int]] = {}
         for position, dataset in enumerate(block.datasets):
             groups.setdefault(dataset.n_samples, []).append(position)
-        results: list[Optional[dict[str, float]]] = [None] * len(block)
+        results: list[dict[str, float] | None] = [None] * len(block)
         for positions in groups.values():
             features = np.stack([block.datasets[i].features for i in positions])
             labels = np.stack([block.datasets[i].labels for i in positions])

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -41,7 +40,7 @@ class SGD:
         bias: float,
         features: np.ndarray,
         labels: np.ndarray,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
         backend: NumericBackend = SERVER_BACKEND,
     ) -> tuple[np.ndarray, float]:
         """One pass over the data; returns updated ``(weights, bias)``.
@@ -84,7 +83,7 @@ class SGD:
         features: np.ndarray,
         labels: np.ndarray,
         epochs: int,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
         backend: NumericBackend = SERVER_BACKEND,
     ) -> tuple[np.ndarray, float]:
         """Run ``epochs`` sequential epochs (the paper's local loop of 10)."""
@@ -101,7 +100,7 @@ class SGD:
         features: np.ndarray,
         labels: np.ndarray,
         epochs: int,
-        rngs: Optional[list[Optional[np.random.Generator]]] = None,
+        rngs: list[Optional[np.random.Generator]] | None = None,
         backend: NumericBackend = SERVER_BACKEND,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Train a stacked block of devices in lock-step.

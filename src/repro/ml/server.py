@@ -10,7 +10,7 @@ compared.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -61,7 +61,7 @@ class SynchronousTrainer:
         self.model = LogisticRegressionModel(self.feature_dim)
         self.history: list[RoundRecord] = []
 
-    def run(self, rounds: int, participation: float = 1.0, rng: Optional[np.random.Generator] = None) -> list[RoundRecord]:
+    def run(self, rounds: int, participation: float = 1.0, rng: np.random.Generator | None = None) -> list[RoundRecord]:
         """Run ``rounds`` rounds; returns the per-round history.
 
         ``participation`` < 1 samples that fraction of clients uniformly
@@ -80,7 +80,7 @@ class SynchronousTrainer:
             self.history.append(self._record(round_index, updates, participants))
         return self.history
 
-    def _select(self, participation: float, rng: Optional[np.random.Generator]) -> list[FLClient]:
+    def _select(self, participation: float, rng: np.random.Generator | None) -> list[FLClient]:
         if participation >= 1.0:
             return self.clients
         count = max(1, int(round(participation * len(self.clients))))

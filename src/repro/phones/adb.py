@@ -77,7 +77,7 @@ class SimulatedAdb:
         phone = self.phone(serial)
         return n_bytes / phone.spec.network_bandwidth_bps
 
-    def push_durations(self, serial: str, byte_counts: "np.ndarray") -> "np.ndarray":
+    def push_durations(self, serial: str, byte_counts: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`push_duration` over an array of payload sizes.
 
         Element ``i`` equals ``push_duration(serial, byte_counts[i])``

@@ -8,7 +8,6 @@ exact internal integral too, so tests can bound the sampling error.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -33,7 +32,7 @@ class BatteryModel:
         self,
         capacity_mah: float,
         nominal_voltage_mv: float = 3850.0,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
         noise_fraction: float = 0.05,
     ) -> None:
         if capacity_mah <= 0:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Optional
 
 
 @dataclass
@@ -80,7 +79,7 @@ def parse_voltage_mv(raw: str) -> float:
     return float(text) / 1000.0
 
 
-def parse_pgrep_pid(raw: str) -> Optional[int]:
+def parse_pgrep_pid(raw: str) -> int | None:
     """First pid from ``pgrep -f`` output, or None when not running."""
     for line in raw.splitlines():
         line = line.strip()

@@ -9,7 +9,7 @@ temporarily unavailable (leased to other tenants of the platform).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.phones.adb import SimulatedAdb
 from repro.phones.phone import VirtualPhone
@@ -38,7 +38,7 @@ class MobileServicePlatform:
         sim: Simulator,
         adb: SimulatedAdb,
         specs: Sequence[PhoneSpec] = DEFAULT_MSP_FLEET,
-        streams: Optional[RandomStreams] = None,
+        streams: RandomStreams | None = None,
         control_latency: float = 0.8,
         availability: float = 1.0,
     ) -> None:

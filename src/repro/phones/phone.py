@@ -11,7 +11,7 @@ batch-by-batch during training, memory ramps as the training set loads
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -48,7 +48,7 @@ class VirtualPhone:
         sim: Simulator,
         serial: str,
         spec: PhoneSpec,
-        streams: Optional[RandomStreams] = None,
+        streams: RandomStreams | None = None,
         is_msp: bool = False,
     ) -> None:
         self.sim = sim
@@ -62,20 +62,20 @@ class VirtualPhone:
             spec.nominal_voltage_mv,
             rng=streams.get(f"phone.{serial}.battery"),
         )
-        self.stage: Optional[ApkStage] = None
+        self.stage: ApkStage | None = None
         self._stage_entered_at = sim.now
         self.stage_energy_mah: dict[ApkStage, float] = {}
         self.stage_durations: dict[ApkStage, float] = {}
         self.installed: dict[str, TrainingApk] = {}
-        self.running_pid: Optional[int] = None
-        self.running_package: Optional[str] = None
+        self.running_pid: int | None = None
+        self.running_package: str | None = None
         self._pid_counter = 4000 + (hash(serial) % 997)
-        self._training_started_at: Optional[float] = None
+        self._training_started_at: float | None = None
         self._training_duration: float = 0.0
         self._training_upload_bytes: int = 0
         self._net_rx_base = 0
         self._net_tx_base = 0
-        self.training_complete: Optional[Signal] = None
+        self.training_complete: Signal | None = None
         self.sessions_completed = 0
 
     # ------------------------------------------------------------------
@@ -86,7 +86,7 @@ class VirtualPhone:
             return self.spec.idle_current_ma
         return self.spec.stage_current(self.stage)
 
-    def _enter_stage(self, stage: Optional[ApkStage], at: Optional[float] = None) -> None:
+    def _enter_stage(self, stage: ApkStage | None, at: float | None = None) -> None:
         """Close the energy account of the old stage, open the new one.
 
         ``at`` overrides the transition timestamp (default: the simulated
@@ -264,7 +264,7 @@ class VirtualPhone:
         """Instantaneous battery voltage (µV)."""
         return self.battery.voltage_now_uv()
 
-    def pgrep(self, name: str) -> Optional[int]:
+    def pgrep(self, name: str) -> int | None:
         """Pid of the process matching ``name``, if running."""
         if self.running_package is not None and name in self.running_package:
             return self.running_pid

@@ -36,7 +36,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from itertools import chain
-from typing import Callable, Generator, Optional
+from collections.abc import Callable, Generator
 
 import numpy as np
 
@@ -188,12 +188,12 @@ class PhoneMgr:
         sim: Simulator,
         adb: SimulatedAdb,
         phones: list[VirtualPhone],
-        cost_model: Optional[PhysicalCostModel] = None,
-        apk: Optional[TrainingApk] = None,
-        streams: Optional[RandomStreams] = None,
+        cost_model: PhysicalCostModel | None = None,
+        apk: TrainingApk | None = None,
+        streams: RandomStreams | None = None,
         poll_interval: float = 1.0,
-        on_sample: Optional[Callable[[DeviceMetricSample], None]] = None,
-        busy_registry: Optional[set[str]] = None,
+        on_sample: Callable[[DeviceMetricSample], None] | None = None,
+        busy_registry: set[str] | None = None,
         batch: bool = True,
     ) -> None:
         if poll_interval <= 0:
@@ -221,7 +221,7 @@ class PhoneMgr:
         self._pool = TimeoutPool(sim, name="phone-tier")
         self._sampler_pool = TimeoutPool(sim, name="phone-sampler")
         self._sampler_entries: list[_SampledPhone] = []
-        self._sampler_handle: Optional[RecurringTimeout] = None
+        self._sampler_handle: RecurringTimeout | None = None
         self._round_barriers: list[Signal] = []
         self._epoch = 0
 
@@ -322,10 +322,10 @@ class PhoneMgr:
     def run_round(
         self,
         round_index: int,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
         model_bytes: int,
-        on_outcome: Optional[Callable[[DeviceRoundOutcome], None]] = None,
+        on_outcome: Callable[[DeviceRoundOutcome], None] | None = None,
     ) -> Generator:
         """Execute one round on computing + benchmarking phones.
 
@@ -461,7 +461,7 @@ class PhoneMgr:
         self,
         plan: PhoneAssignment,
         round_index: int,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
     ) -> tuple[np.ndarray, np.ndarray, int]:
         """Run a numeric plan's flow as one stacked block over every device.
@@ -508,11 +508,11 @@ class PhoneMgr:
         self,
         plan: PhoneAssignment,
         round_index: int,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
         model_bytes: int,
         result: RoundResult,
-        collect: Optional[Callable[[DeviceRoundOutcome], None]],
+        collect: Callable[[DeviceRoundOutcome], None] | None,
         plan_done: Callable[[], None],
     ) -> None:
         """Register one plan's whole emulation round in the timeout pool.
@@ -541,8 +541,8 @@ class PhoneMgr:
         phones = self.computing_phones[plan.grade]
         n_phones = len(phones)
         duration = self.cost_model.training_duration(plan.grade, plan.flow.total_work)
-        update_weights: Optional[np.ndarray] = None
-        update_biases: Optional[np.ndarray] = None
+        update_weights: np.ndarray | None = None
+        update_biases: np.ndarray | None = None
         upload_bytes = model_bytes
         if plan.numeric:
             update_weights, update_biases, payload = self._execute_numeric_block(
@@ -654,7 +654,7 @@ class PhoneMgr:
         queue: list[DeviceAssignment],
         round_index: int,
         plan: PhoneAssignment,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
         model_bytes: int,
         on_outcome: Callable[[DeviceRoundOutcome], None],
@@ -698,7 +698,7 @@ class PhoneMgr:
         assignment: DeviceAssignment,
         round_index: int,
         plan: PhoneAssignment,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
         model_bytes: int,
         on_outcome: Callable[[DeviceRoundOutcome], None],
@@ -870,7 +870,7 @@ class PhoneMgr:
         assignment: DeviceAssignment,
         round_index: int,
         plan: PhoneAssignment,
-        global_weights: Optional[np.ndarray],
+        global_weights: np.ndarray | None,
         global_bias: float,
     ):
         if assignment.dataset is None:

@@ -1,0 +1,54 @@
+"""Declarative multi-tenant scenario engine.
+
+SimDC's pitch is a platform that mirrors *production* device-cloud
+populations — timezones, networks, user actions, dropout (§V, Fig. 3).
+This package turns that pitch into a first-class subsystem: a scenario is
+a plain-data description of "a day of traffic on a real deployment" —
+
+* a **device-population recipe** (timezone / network / availability /
+  dropout mixtures drawn from :mod:`repro.behavior`),
+* a set of **tenants**, each a :class:`~repro.scheduler.task.TaskSpec`
+  template plus an arrival process (Poisson, deterministic cadence, or a
+  trace of timestamps) and a declarative DeviceFlow dispatch recipe, and
+* a **fault plan** (timed phone crashes/recoveries, network-tier
+  degradation windows, straggler injection),
+
+and the :class:`ScenarioRunner` replays the whole thing on one simulated
+clock — submissions scheduled as simulator events, faults applied through
+the kernel, everything on the batched fast path — then distils the run
+into a :class:`ScenarioReport` of per-tenant KPIs.
+
+Specs serialize to/from plain dicts, so YAML/JSON configs load trivially;
+``python -m repro.scenarios run <name>`` runs the built-in library.
+"""
+
+from repro.scenarios.engine import ScenarioRunner, run_scenario
+from repro.scenarios.kpis import ScenarioReport, StatSummary, TenantKPIs, build_report
+from repro.scenarios.library import SCENARIOS, build_scenario
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    DispatchSpec,
+    FaultSpec,
+    GradeSpec,
+    PopulationSpec,
+    ScenarioSpec,
+    TenantSpec,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "ArrivalSpec",
+    "DispatchSpec",
+    "FaultSpec",
+    "GradeSpec",
+    "PopulationSpec",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "StatSummary",
+    "TenantKPIs",
+    "TenantSpec",
+    "build_report",
+    "build_scenario",
+    "run_scenario",
+]

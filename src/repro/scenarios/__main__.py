@@ -1,0 +1,88 @@
+"""Scenario CLI: ``python -m repro.scenarios {list,show,run}``.
+
+Examples::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios show flash_crowd --scale 500
+    python -m repro.scenarios run diurnal_multitenant --scale 2000
+    python -m repro.scenarios run flaky_fleet --seed 3 --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.scenarios.engine import run_scenario
+from repro.scenarios.library import SCENARIOS, build_scenario
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'name':<22} {'tenants':>7} {'devices':>8}  description")
+    for name in sorted(SCENARIOS):
+        spec = build_scenario(name)
+        print(
+            f"{name:<22} {len(spec.tenants):>7} {spec.total_devices:>8}  {spec.description}"
+        )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    spec = build_scenario(args.name, scale=args.scale, seed=args.seed)
+    print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = build_scenario(args.name, scale=args.scale, seed=args.seed)
+    if args.legacy:
+        spec.batch = False
+    wall_start = time.perf_counter()
+    report = run_scenario(spec)
+    wall = time.perf_counter() - wall_start
+    for line in report.summary_lines():
+        print(line)
+    print(f"  wall time: {wall:.2f}s")
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"  report written to {args.json}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the built-in scenario library").set_defaults(
+        fn=_cmd_list
+    )
+
+    show = sub.add_parser("show", help="print a scenario spec as JSON")
+    show.add_argument("name", choices=sorted(SCENARIOS))
+    show.add_argument("--scale", type=int, default=None, help="approximate total devices")
+    show.add_argument("--seed", type=int, default=0)
+    show.set_defaults(fn=_cmd_show)
+
+    run = sub.add_parser("run", help="replay a scenario and print its report")
+    run.add_argument("name", choices=sorted(SCENARIOS))
+    run.add_argument("--scale", type=int, default=None, help="approximate total devices")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--legacy", action="store_true", help="per-device generator path (slow, bit-identical)"
+    )
+    run.add_argument("--json", type=Path, default=None, help="also write the report as JSON")
+    run.set_defaults(fn=_cmd_run)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""The scenario engine: replaying a declarative spec on a live platform.
+
+:class:`ScenarioRunner` stands up one :class:`~repro.core.platform.SimDC`
+deployment per run, schedules every tenant submission *as a simulator
+event* (``SimDC.submit(..., at=...)`` rides the Task Manager's deferred
+path), arms the fault plan as kernel events, and drives the whole thing to
+idle on the batched fast path.  Nothing here executes outside the
+simulated clock, so a scenario is exactly as deterministic as the platform
+itself: same spec + same seed ⇒ byte-identical
+:class:`~repro.scenarios.kpis.ScenarioReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.cluster.cost import LogicalCostModel
+from repro.cluster.resources import NodeSpec
+from repro.core.config import PlatformConfig
+from repro.core.platform import SimDC
+from repro.phones.cost import PhysicalCostModel
+from repro.phones.specs import DEFAULT_LOCAL_FLEET, build_fleet
+from repro.scenarios.kpis import ScenarioReport, build_report
+from repro.scenarios.spec import FaultSpec, ScenarioSpec
+
+
+class FaultInjector:
+    """Applies a scenario's fault plan to a live platform via the kernel.
+
+    Every fault (and its recovery) is a scheduled simulator event, so
+    faults interleave deterministically with submissions, rounds and
+    samplers.  Each firing is logged on the platform monitor as a
+    ``fault_*`` event for the report.
+    """
+
+    def __init__(self, platform: SimDC) -> None:
+        self.platform = platform
+        self._down: set[str] = set()
+        self._active_degradations: list[FaultSpec] = []
+
+    def arm(self, faults: list[FaultSpec]) -> None:
+        """Schedule every fault event on the platform's clock."""
+        sim = self.platform.sim
+        for fault in faults:
+            if fault.kind == "phone_crash":
+                state: dict[str, Any] = {}
+                sim.schedule_at(fault.at, self._crash_phones, fault, state)
+                if fault.until is not None:
+                    sim.schedule_at(fault.until, self._recover_phones, fault, state)
+            elif fault.kind == "network_degradation":
+                sim.schedule_at(fault.at, self._degrade_network, fault)
+                assert fault.until is not None
+                sim.schedule_at(fault.until, self._restore_network, fault)
+            # Straggler windows act at submission time (the engine scales
+            # the affected tasks' cost models); log the window open so the
+            # report counts it even when no submission lands inside.
+            elif fault.kind == "straggler":
+                sim.schedule_at(fault.at, self._log_straggler_window, fault)
+
+    # ------------------------------------------------------------------
+    def _crash_phones(self, fault: FaultSpec, state: dict) -> None:
+        platform = self.platform
+        candidates = [
+            phone
+            for phone in sorted(platform.phones, key=lambda p: (p.is_msp, p.serial))
+            if phone.spec.grade == fault.grade
+            and phone.serial not in platform._busy_registry
+            and phone.serial not in self._down
+        ]
+        # Churn takes idle handsets; remote (MSP) phones drop first — the
+        # flakier pool in the paper's deployment model.
+        victims = candidates[-fault.count :] if candidates else []
+        state["victims"] = victims
+        platform.resource_manager.remove_phones(victims)
+        for phone in victims:
+            platform._busy_registry.add(phone.serial)
+            self._down.add(phone.serial)
+            platform.monitor.log(
+                "fault_phone_crash", serial=phone.serial, grade=fault.grade
+            )
+
+    def _recover_phones(self, fault: FaultSpec, state: dict) -> None:
+        platform = self.platform
+        for phone in state.get("victims", []):
+            platform._busy_registry.discard(phone.serial)
+            platform.resource_manager.add_phones([phone])
+            self._down.discard(phone.serial)
+            platform.monitor.log(
+                "fault_phone_recover", serial=phone.serial, grade=fault.grade
+            )
+        # A freed phone may unblock a queued, phone-starved task now.
+        platform.task_manager.notify_resources_changed()
+
+    def _apply_degradations(self) -> float:
+        """Effective capacity scale: active windows stack multiplicatively."""
+        scale = 1.0
+        for fault in self._active_degradations:
+            scale *= fault.factor
+        self.platform.deviceflow.set_capacity_scale(scale)
+        return scale
+
+    def _degrade_network(self, fault: FaultSpec) -> None:
+        self._active_degradations.append(fault)
+        scale = self._apply_degradations()
+        self.platform.monitor.log("fault_network_degraded", factor=fault.factor, scale=scale)
+
+    def _restore_network(self, fault: FaultSpec) -> None:
+        self._active_degradations.remove(fault)
+        scale = self._apply_degradations()
+        self.platform.monitor.log("fault_network_restored", factor=fault.factor, scale=scale)
+
+    def _log_straggler_window(self, fault: FaultSpec) -> None:
+        self.platform.monitor.log(
+            "fault_straggler_window",
+            tenant=fault.tenant or "*",
+            factor=fault.factor,
+            until=fault.until,
+        )
+
+
+class ScenarioRunner:
+    """Builds the platform for a spec and replays the scenario on it.
+
+    Parameters
+    ----------
+    spec:
+        The declarative scenario.
+    batch:
+        Optional override of the spec's execution mode (the differential
+        tests run the same spec both ways).
+    """
+
+    def __init__(self, spec: ScenarioSpec, batch: bool | None = None) -> None:
+        self.spec = spec
+        self.batch = spec.batch if batch is None else bool(batch)
+        self.platform = self._build_platform()
+        self.faults = FaultInjector(self.platform)
+        #: tenant name -> [(task_id, submit_time)] ledger for the report.
+        self.submissions: dict[str, list[tuple[str, float]]] = {}
+
+    # ------------------------------------------------------------------
+    def _build_platform(self) -> SimDC:
+        spec = self.spec
+        local_fleet = tuple(DEFAULT_LOCAL_FLEET) + tuple(
+            build_fleet(spec.extra_high_phones, spec.extra_low_phones, prefix="SCN")
+        )
+        config = PlatformConfig(
+            seed=spec.seed,
+            cluster_nodes=[NodeSpec(cpus=20, memory_gb=30)] * spec.cluster_nodes,
+            local_fleet=local_fleet,
+            deviceflow_capacity=spec.deviceflow_capacity,
+            batch=self.batch,
+        )
+        return SimDC(config)
+
+    def _straggler_factor(self, tenant: str, submit_time: float) -> float:
+        """Combined slowdown for a submission (overlapping windows stack)."""
+        factor = 1.0
+        for fault in self.spec.faults:
+            if fault.covers_submission(tenant, submit_time):
+                factor *= fault.factor
+        return factor
+
+    def _slowed_costs(self, factor: float) -> tuple[LogicalCostModel, PhysicalCostModel]:
+        """Cost models with per-device durations scaled by ``factor``."""
+        logical = self.platform.config.logical_cost
+        physical = self.platform.config.physical_cost
+        assert logical is not None and physical is not None
+        return (
+            replace(logical, alpha={g: a * factor for g, a in logical.alpha.items()}),
+            replace(physical, beta={g: b * factor for g, b in physical.beta.items()}),
+        )
+
+    # ------------------------------------------------------------------
+    def schedule(self) -> int:
+        """Arm every submission and fault event; returns the task count.
+
+        Idempotence guard: a runner replays its spec exactly once.
+        """
+        if self.submissions:
+            raise RuntimeError("scenario already scheduled")
+        spec = self.spec
+        n_tasks = 0
+        for tenant in spec.tenants:
+            ledger: list[tuple[str, float]] = []
+            arrival_rng = self.platform.streams.get(f"scenario.arrival.{tenant.name}")
+            times = tenant.arrival.submission_times(arrival_rng)
+            for index, submit_time in enumerate(times):
+                task = tenant.build_task(spec.name, index, spec.seed, spec.population)
+                slowdown = self._straggler_factor(tenant.name, submit_time)
+                options: dict[str, Any] = {}
+                if slowdown > 1.0:
+                    logical, physical = self._slowed_costs(slowdown)
+                    options["logical_cost"] = logical
+                    options["physical_cost"] = physical
+                self.platform.submit(task, at=submit_time, **options)
+                ledger.append((task.task_id, submit_time))
+                n_tasks += 1
+            self.submissions[tenant.name] = ledger
+        self.faults.arm(spec.faults)
+        return n_tasks
+
+    def run(self) -> ScenarioReport:
+        """Replay the scenario to idle and distil the report."""
+        self.schedule()
+        finished_at = self.platform.run_until_idle(
+            max_time=self.spec.max_time, batch=self.batch
+        )
+        # Flush trailing fault events (e.g. a recovery scheduled after the
+        # last completion) so the platform ends in its healthy state.
+        self.platform.run(batch=self.batch)
+        return build_report(
+            self.spec, self.platform, self.submissions, finished_at, batch=self.batch
+        )
+
+
+def run_scenario(spec: ScenarioSpec, batch: bool | None = None) -> ScenarioReport:
+    """One-call convenience: build, replay, report."""
+    return ScenarioRunner(spec, batch=batch).run()

@@ -1,0 +1,486 @@
+"""Scenario specifications: plain-data descriptions of platform workloads.
+
+Every spec class here is a dataclass of JSON-friendly fields with a
+``to_dict`` / ``from_dict`` pair, so scenarios round-trip through plain
+dicts (and therefore YAML/JSON files) without any custom serializer.  The
+specs are *descriptions*; the live objects (behaviour models, dispatch
+strategies, :class:`~repro.scheduler.task.TaskSpec` instances) are built
+on demand by the factory methods so that every task gets fresh, unshared
+strategy state and deterministic seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.behavior import (
+    FLIGHT_MODE,
+    GPRS,
+    LTE,
+    WIFI,
+    DiurnalAvailability,
+    DropoutModel,
+    NetworkMixture,
+    TimezoneMixture,
+    population_traffic_curve,
+)
+from repro.behavior.timezone import DEFAULT_OFFSET_WEIGHTS
+from repro.cluster.resources import ResourceBundle
+from repro.deviceflow.curves import TrafficCurve
+from repro.deviceflow.strategy import (
+    DispatchStrategy,
+    RealTimeAccumulatedStrategy,
+    TimeIntervalStrategy,
+)
+from repro.ml.operators import standard_fl_flow
+from repro.scheduler.task import GradeRequirement, TaskSpec
+from repro.simkernel.random import stable_hash
+
+#: Named network profiles a :class:`PopulationSpec` can mix.
+NETWORK_PROFILES = {p.name: p for p in (WIFI, LTE, GPRS, FLIGHT_MODE)}
+
+
+# ----------------------------------------------------------------------
+# population recipe
+# ----------------------------------------------------------------------
+@dataclass
+class PopulationSpec:
+    """Device-population recipe: who the simulated users are.
+
+    Composes the :mod:`repro.behavior` models: a timezone mixture, a
+    diurnal availability curve (in local time), a network-condition
+    mixture, and a per-round dropout model.  The aggregate upload-rate
+    curve of the population doubles as the rate curve for interval-based
+    DeviceFlow dispatch (:meth:`traffic_curve`).
+    """
+
+    timezone_offsets: list[list[float]] = field(
+        default_factory=lambda: [[o, w] for o, w in DEFAULT_OFFSET_WEIGHTS]
+    )
+    night_peak: float = 2.0
+    evening_peak: float = 21.0
+    base_level: float = 0.05
+    network_mix: list[list[Any]] = field(
+        default_factory=lambda: [["wifi", 0.62], ["lte", 0.28], ["gprs", 0.07], ["flight-mode", 0.03]]
+    )
+    dropout_prob: float = 0.0
+    dropout_stickiness: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, _weight in self.network_mix:
+            if name not in NETWORK_PROFILES:
+                raise ValueError(
+                    f"unknown network profile {name!r}; known: {sorted(NETWORK_PROFILES)}"
+                )
+        if not 0.0 <= self.dropout_prob <= 1.0:
+            raise ValueError("dropout_prob must be in [0, 1]")
+
+    # live-object factories -------------------------------------------
+    def timezones(self, seed: int = 0) -> TimezoneMixture:
+        """The population's timezone mixture."""
+        return TimezoneMixture([(int(o), float(w)) for o, w in self.timezone_offsets], seed=seed)
+
+    def availability(self) -> DiurnalAvailability:
+        """Per-device diurnal availability in local time."""
+        return DiurnalAvailability(self.night_peak, self.evening_peak, self.base_level)
+
+    def networks(self, seed: int = 0) -> NetworkMixture:
+        """Network-profile assignment for the population."""
+        mix = [(NETWORK_PROFILES[name], float(w)) for name, w in self.network_mix]
+        return NetworkMixture(mix, seed=seed)
+
+    def dropout(self, seed: int = 0) -> DropoutModel | None:
+        """Per-round dropout model, or ``None`` when dropout is off."""
+        if self.dropout_prob <= 0.0:
+            return None
+        return DropoutModel(self.dropout_prob, self.dropout_stickiness, seed=seed)
+
+    def upload_failure_prob(self) -> float:
+        """Population-average transmission-failure probability.
+
+        Derived from the network mixture — the physically-grounded default
+        for DeviceFlow dropout, combined with the explicit
+        :attr:`dropout_prob` as independent loss sources.
+        """
+        network = self.networks().expected_failure_prob()
+        return 1.0 - (1.0 - network) * (1.0 - self.dropout_prob)
+
+    def traffic_curve(self, name: str = "population-diurnal") -> TrafficCurve:
+        """Aggregate upload-rate curve over UTC (feeds interval dispatch)."""
+        return population_traffic_curve(self.timezones(), self.availability(), name=name)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> PopulationSpec:
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# arrival processes
+# ----------------------------------------------------------------------
+@dataclass
+class ArrivalSpec:
+    """When a tenant's task instances are submitted.
+
+    ``kind`` selects the process:
+
+    * ``"trace"`` — submit at the explicit ``times`` (seconds from
+      scenario start), trace-driven replay of a recorded workload;
+    * ``"periodic"`` — ``count`` submissions at ``offset_s + k*period_s``
+      (a retraining cadence);
+    * ``"poisson"`` — ``count`` submissions with i.i.d. exponential
+      inter-arrival gaps at ``rate_per_hour`` (an open-loop user stream).
+    """
+
+    kind: str = "trace"
+    times: list[float] = field(default_factory=list)
+    count: int = 1
+    period_s: float = 600.0
+    offset_s: float = 0.0
+    rate_per_hour: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("trace", "periodic", "poisson"):
+            raise ValueError(f"unknown arrival kind {self.kind!r}")
+        if self.kind == "trace":
+            if not self.times:
+                raise ValueError("trace arrivals need at least one timestamp")
+            if any(t < 0 for t in self.times):
+                raise ValueError("trace timestamps must be >= 0")
+        else:
+            if self.count < 1:
+                raise ValueError("count must be >= 1")
+        if self.kind == "periodic" and self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.kind == "poisson" and self.rate_per_hour <= 0:
+            raise ValueError("rate_per_hour must be positive")
+
+    def submission_times(self, rng: np.random.Generator) -> list[float]:
+        """The sorted submission instants (seconds from scenario start).
+
+        ``rng`` is consumed only by the Poisson process; deterministic
+        kinds ignore it, so trace/periodic tenants never perturb the
+        random-stream alignment of stochastic ones.
+        """
+        if self.kind == "trace":
+            return sorted(float(t) for t in self.times)
+        if self.kind == "periodic":
+            return [self.offset_s + k * self.period_s for k in range(self.count)]
+        gaps = rng.exponential(3600.0 / self.rate_per_hour, size=self.count)
+        return (self.offset_s + np.cumsum(gaps)).tolist()
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ArrivalSpec:
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# deviceflow dispatch recipe
+# ----------------------------------------------------------------------
+@dataclass
+class DispatchSpec:
+    """Declarative DeviceFlow strategy for one tenant.
+
+    * ``"direct"`` — bypass DeviceFlow (results go straight to the cloud
+      service);
+    * ``"realtime"`` — threshold-sequence real-time accumulated dispatch;
+    * ``"interval"`` — spread each round's uploads over the population's
+      diurnal traffic curve across ``interval_s`` seconds.
+
+    ``failure_prob`` < 0 (the default) means "derive from the population"
+    via :meth:`PopulationSpec.upload_failure_prob`.
+    """
+
+    kind: str = "direct"
+    thresholds: list[int] = field(default_factory=lambda: [1])
+    interval_s: float = 600.0
+    failure_prob: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("direct", "realtime", "interval"):
+            raise ValueError(f"unknown dispatch kind {self.kind!r}")
+        if self.kind == "interval" and self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.failure_prob > 1.0:
+            raise ValueError("failure_prob must be <= 1")
+
+    def resolved_failure_prob(self, population: PopulationSpec) -> float:
+        """The dropout probability this tenant's messages experience."""
+        if self.failure_prob >= 0.0:
+            return float(self.failure_prob)
+        return population.upload_failure_prob()
+
+    def build(self, population: PopulationSpec) -> DispatchStrategy | None:
+        """A fresh strategy instance (strategies hold per-task state)."""
+        if self.kind == "direct":
+            return None
+        p = self.resolved_failure_prob(population)
+        if self.kind == "realtime":
+            return RealTimeAccumulatedStrategy([int(t) for t in self.thresholds], failure_prob=p)
+        return TimeIntervalStrategy(
+            population.traffic_curve(), interval_seconds=float(self.interval_s), failure_prob=p
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> DispatchSpec:
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# tenants
+# ----------------------------------------------------------------------
+@dataclass
+class GradeSpec:
+    """One device grade's demand inside a tenant's task template."""
+
+    grade: str = "High"
+    n_devices: int = 10
+    bundles: int = 10
+    n_phones: int = 0
+    n_benchmark: int = 0
+    device_cpus: float = 1.0
+    device_memory_gb: float = 1.0
+
+    def build(self) -> GradeRequirement:
+        return GradeRequirement(
+            grade=self.grade,
+            n_devices=self.n_devices,
+            bundles=self.bundles,
+            n_phones=self.n_phones,
+            n_benchmark=self.n_benchmark,
+            device_bundle=ResourceBundle(cpus=self.device_cpus, memory_gb=self.device_memory_gb),
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> GradeSpec:
+        return cls(**data)
+
+
+@dataclass
+class TenantSpec:
+    """One tenant: a task template plus its arrival process.
+
+    Each submission instantiates a fresh :class:`TaskSpec` from the
+    template with a deterministic ``task_id`` and ``dataset_seed``, so a
+    scenario is reproducible regardless of how many other TaskSpecs the
+    process created before (the global task counter is bypassed).
+    """
+
+    name: str
+    grades: list[GradeSpec] = field(default_factory=lambda: [GradeSpec()])
+    arrival: ArrivalSpec = field(default_factory=lambda: ArrivalSpec(times=[0.0]))
+    dispatch: DispatchSpec = field(default_factory=DispatchSpec)
+    priority: int = 0
+    rounds: int = 1
+    numeric: bool = False
+    feature_dim: int = 64
+    records_per_device: int = 8
+    flow_epochs: int = 1
+    flow_learning_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not self.grades:
+            raise ValueError(f"tenant {self.name!r} needs at least one grade")
+
+    @property
+    def devices_per_task(self) -> int:
+        return sum(g.n_devices for g in self.grades)
+
+    def build_task(
+        self, scenario: str, index: int, seed: int, population: PopulationSpec
+    ) -> TaskSpec:
+        """Instantiate submission ``index`` of this tenant's stream."""
+        return TaskSpec(
+            name=f"{self.name}-{index:03d}",
+            task_id=f"{scenario}.{self.name}.{index:04d}",
+            grades=[g.build() for g in self.grades],
+            rounds=self.rounds,
+            flow=standard_fl_flow(epochs=self.flow_epochs, learning_rate=self.flow_learning_rate),
+            priority=self.priority,
+            deviceflow_strategy=self.dispatch.build(population),
+            numeric=self.numeric,
+            feature_dim=self.feature_dim,
+            dataset_seed=(seed * 1_000_003 + index * 9_176 + stable_hash(self.name)[0])
+            % (2**31),
+            records_per_device=self.records_per_device,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> TenantSpec:
+        data = dict(data)
+        if "grades" in data:
+            data["grades"] = [GradeSpec.from_dict(g) for g in data["grades"]]
+        if "arrival" in data:
+            data["arrival"] = ArrivalSpec.from_dict(data["arrival"])
+        if "dispatch" in data:
+            data["dispatch"] = DispatchSpec.from_dict(data["dispatch"])
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# fault plan
+# ----------------------------------------------------------------------
+@dataclass
+class FaultSpec:
+    """One timed fault (and its optional recovery) in a scenario.
+
+    ``kind`` selects the failure mode:
+
+    * ``"phone_crash"`` — at ``at``, up to ``count`` *idle* phones of
+      ``grade`` drop out of the fleet (they stop being reservable and the
+      scheduler sees reduced capacity); at ``until`` they recover.
+      Phones mid-task are not yanked — device churn takes idle handsets,
+      matching the "participate only while idle" eligibility model.
+    * ``"network_degradation"`` — between ``at`` and ``until``,
+      DeviceFlow transmission capacity is scaled by ``factor`` (< 1).
+    * ``"straggler"`` — tenants matching ``tenant`` (or all tenants when
+      empty) whose tasks are *submitted* inside ``[at, until)`` run with
+      per-device durations scaled by ``factor`` (> 1): slow devices, both
+      tiers.
+    """
+
+    kind: str
+    at: float = 0.0
+    until: float | None = None
+    grade: str = "High"
+    count: int = 1
+    factor: float = 1.0
+    tenant: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("phone_crash", "network_degradation", "straggler"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError("fault recovery must come after the fault")
+        if self.kind == "phone_crash" and self.count < 1:
+            raise ValueError("phone_crash needs count >= 1")
+        if self.kind == "network_degradation":
+            if self.until is None:
+                raise ValueError("network_degradation needs an end time")
+            if not 0.0 < self.factor <= 1.0:
+                raise ValueError("degradation factor must be in (0, 1]")
+        if self.kind == "straggler":
+            if self.until is None:
+                raise ValueError("straggler injection needs a window end")
+            if self.factor <= 1.0:
+                raise ValueError("straggler slowdown factor must be > 1")
+
+    def covers_submission(self, tenant: str, time: float) -> bool:
+        """Whether a straggler window applies to a tenant submission."""
+        if self.kind != "straggler":
+            return False
+        if self.tenant and self.tenant != tenant:
+            return False
+        assert self.until is not None
+        return self.at <= time < self.until
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FaultSpec:
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# the scenario
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioSpec:
+    """A complete multi-tenant platform run, as plain data.
+
+    Attributes
+    ----------
+    name / description:
+        Identification (the name prefixes every generated task id).
+    seed:
+        Master seed: platform streams, arrival draws, dataset seeds.
+    horizon_s:
+        Nominal arrival-window length (documentation + CLI display; the
+        run itself ends when every task finishes).
+    max_time:
+        Hard simulated-time guard for the run.
+    tenants / population / faults:
+        The workload, who generates it, and what goes wrong.
+    cluster_nodes:
+        Logical-tier size, in 20-CPU/30-GB nodes (the paper's shape).
+    deviceflow_capacity:
+        Dispatcher transmission capacity (messages/second).
+    extra_high_phones / extra_low_phones:
+        Synthetic MSP phones added on top of the default 30-phone fleet
+        for scenarios with heavy physical-tier demand.
+    batch:
+        Drive the run on the wave-scheduled fast paths (default) or the
+        legacy per-device generators — bit-identical results either way.
+    """
+
+    name: str
+    tenants: list[TenantSpec]
+    description: str = ""
+    seed: int = 0
+    horizon_s: float = 3600.0
+    max_time: float = 1e8
+    population: PopulationSpec = field(default_factory=PopulationSpec)
+    faults: list[FaultSpec] = field(default_factory=list)
+    cluster_nodes: int = 10
+    deviceflow_capacity: float = 700.0
+    extra_high_phones: int = 0
+    extra_low_phones: int = 0
+    batch: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if not self.tenants:
+            raise ValueError("a scenario needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        if self.horizon_s <= 0 or self.max_time <= 0:
+            raise ValueError("horizon_s and max_time must be positive")
+        if self.cluster_nodes < 1:
+            raise ValueError("cluster_nodes must be >= 1")
+        if self.extra_high_phones < 0 or self.extra_low_phones < 0:
+            raise ValueError("extra phone counts must be >= 0")
+
+    @property
+    def total_devices(self) -> int:
+        """Simulated devices across every tenant submission."""
+        total = 0
+        for tenant in self.tenants:
+            n_tasks = len(tenant.arrival.times) if tenant.arrival.kind == "trace" else tenant.arrival.count
+            total += tenant.devices_per_task * n_tasks
+        return total
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ScenarioSpec:
+        data = dict(data)
+        data["tenants"] = [TenantSpec.from_dict(t) for t in data.get("tenants", [])]
+        if "population" in data:
+            data["population"] = PopulationSpec.from_dict(data["population"])
+        data["faults"] = [FaultSpec.from_dict(f) for f in data.get("faults", [])]
+        return cls(**data)

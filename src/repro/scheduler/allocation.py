@@ -30,7 +30,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Literal, Optional, Sequence
+from collections.abc import Sequence
+from typing import Literal
 
 import numpy as np
 
@@ -183,7 +184,7 @@ def evaluate_allocation(problem: AllocationProblem, x: Sequence[int]) -> Allocat
 # ----------------------------------------------------------------------
 # exact candidate search (default solver)
 # ----------------------------------------------------------------------
-def _feasible_range(params: GradeAllocationParams, deadline: float) -> Optional[tuple[int, int]]:
+def _feasible_range(params: GradeAllocationParams, deadline: float) -> tuple[int, int] | None:
     """The interval of x values whose grade finishes within ``deadline``."""
     total = params.computable
     if total == 0:
@@ -235,7 +236,7 @@ def solve_allocation(
     """
     candidates = _candidate_times(problem)
     lo, hi = 0, len(candidates) - 1
-    best: Optional[float] = None
+    best: float | None = None
     while lo <= hi:
         mid = (lo + hi) // 2
         deadline = candidates[mid]
@@ -361,7 +362,7 @@ def solve_allocation_brute(problem: AllocationProblem) -> AllocationResult:
         space *= g.computable + 1
     if space > 2_000_000:
         raise ValueError(f"brute-force space too large ({space} combinations)")
-    best: Optional[AllocationResult] = None
+    best: AllocationResult | None = None
     for combo in product(*(range(g.computable + 1) for g in problem.grades)):
         candidate = evaluate_allocation(problem, combo)
         if (

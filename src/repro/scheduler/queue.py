@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from typing import Optional
 
 from repro.scheduler.task import TaskSpec, TaskState
 
@@ -47,6 +46,6 @@ class TaskQueue:
                 return spec
         raise KeyError(f"task {task_id!r} is not queued")
 
-    def peek(self) -> Optional[TaskSpec]:
+    def peek(self) -> TaskSpec | None:
         """Highest-priority task without removing it."""
         return self._entries[0][2] if self._entries else None

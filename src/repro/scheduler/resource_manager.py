@@ -13,7 +13,6 @@ happens later inside the execution tiers against the same capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.cluster.cluster import K8sCluster
 from repro.cluster.resources import NodeSpec, ResourceBundle
@@ -28,7 +27,7 @@ class ResourceSnapshot:
     free_bundles: int
     free_phones: dict[str, int] = field(default_factory=dict)
 
-    def copy(self) -> "ResourceSnapshot":
+    def copy(self) -> ResourceSnapshot:
         """An independent copy the scheduler can decrement speculatively."""
         return ResourceSnapshot(self.free_bundles, dict(self.free_phones))
 
@@ -75,7 +74,7 @@ class ResourceManager:
         self,
         cluster: K8sCluster,
         phones: list[VirtualPhone],
-        unit_bundle: Optional[ResourceBundle] = None,
+        unit_bundle: ResourceBundle | None = None,
     ) -> None:
         self.cluster = cluster
         self.phones = list(phones)
@@ -174,6 +173,17 @@ class ResourceManager:
     def add_phones(self, phones: list[VirtualPhone]) -> None:
         """Grow the physical fleet (e.g. extra MSP provisioning)."""
         self.phones.extend(phones)
+
+    def remove_phones(self, phones: list[VirtualPhone]) -> None:
+        """Shrink the fleet (device churn / fault injection).
+
+        Only capacity accounting changes; reservations already frozen
+        against the removed phones stay valid until their tasks release
+        them (free counts may go transiently negative, which simply
+        blocks new freezes).
+        """
+        for phone in phones:
+            self.phones.remove(phone)
 
     @property
     def active_grants(self) -> int:

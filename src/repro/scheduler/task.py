@@ -14,7 +14,6 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.cluster.resources import ResourceBundle
 from repro.deviceflow.strategy import DispatchStrategy
@@ -111,14 +110,14 @@ class TaskSpec:
     name: str
     grades: list[GradeRequirement]
     rounds: int = 1
-    flow: Optional[OperatorFlow] = None
+    flow: OperatorFlow | None = None
     priority: int = 0
-    deviceflow_strategy: Optional[DispatchStrategy] = None
+    deviceflow_strategy: DispatchStrategy | None = None
     numeric: bool = True
     feature_dim: int = 4096
     dataset_seed: int = 0
     records_per_device: int = 20
-    skew: Optional[dict] = None
+    skew: dict | None = None
     task_id: str = field(default="", compare=False)
     state: TaskState = field(default=TaskState.PENDING, compare=False)
 

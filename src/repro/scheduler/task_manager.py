@@ -9,7 +9,7 @@ never wait for the periodic tick.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from collections.abc import Callable, Generator
 
 from repro.cloud.monitor import Monitor
 from repro.scheduler.queue import TaskQueue
@@ -44,7 +44,7 @@ class TaskManager:
         sim: Simulator,
         resource_manager: ResourceManager,
         runner_factory: Callable[[TaskSpec], TaskRunner],
-        monitor: Optional[Monitor] = None,
+        monitor: Monitor | None = None,
         scheduling_interval: float = 5.0,
     ) -> None:
         if scheduling_interval <= 0:
@@ -59,6 +59,7 @@ class TaskManager:
         self.results: dict[str, TaskResult] = {}
         self.running: dict[str, TaskRunner] = {}
         self._tick_scheduled = False
+        self._deferred = 0
 
     # ------------------------------------------------------------------
     def submit(self, spec: TaskSpec) -> TaskSpec:
@@ -69,6 +70,34 @@ class TaskManager:
         self._arm_tick()
         return spec
 
+    def submit_at(self, spec: TaskSpec, time: float) -> TaskSpec:
+        """Schedule a future submission as a simulator event.
+
+        The task enters the queue (and triggers a scheduling pass) when
+        the clock reaches ``time``; until then it counts against
+        :attr:`all_idle`, so ``run_until_idle`` drives a scenario through
+        submissions that have not arrived yet.
+        """
+        if time < self.sim.now:
+            raise ValueError(f"cannot submit in the past: {time!r} < now {self.sim.now!r}")
+        self._deferred += 1
+        self._log("task_deferred", task_id=spec.task_id, submit_at=time)
+        self.sim.schedule_at(time, self._submit_deferred, spec)
+        return spec
+
+    def _submit_deferred(self, spec: TaskSpec) -> None:
+        self._deferred -= 1
+        self.submit(spec)
+
+    @property
+    def pending_submissions(self) -> int:
+        """Deferred submissions whose arrival time has not been reached."""
+        return self._deferred
+
+    def notify_resources_changed(self) -> None:
+        """External capacity change (scaling, churn): retry queued tasks."""
+        self._schedule_pass()
+
     @property
     def active_tasks(self) -> int:
         """Tasks currently executing."""
@@ -76,8 +105,8 @@ class TaskManager:
 
     @property
     def all_idle(self) -> bool:
-        """True when nothing is queued or running."""
-        return not self.queue and not self.running
+        """True when nothing is queued, running, or awaiting arrival."""
+        return not self.queue and not self.running and self._deferred == 0
 
     def result_of(self, task_id: str) -> TaskResult:
         """Result of a finished task."""
@@ -119,7 +148,10 @@ class TaskManager:
     def _tick_loop(self) -> Generator:
         from repro.simkernel import Timeout
 
-        while not self.all_idle:
+        # Only queued/running work needs the periodic pass; deferred
+        # submissions re-arm the tick when they land, so an otherwise idle
+        # platform does not spin through a long arrival gap.
+        while self.queue or self.running:
             yield Timeout(self.scheduling_interval)
             if self.queue:
                 self._schedule_pass()

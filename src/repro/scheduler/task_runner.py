@@ -18,7 +18,7 @@ number of simulated devices."  Concretely, the runner
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.cloud.aggregation import AggregationRecord, AggregationService, AggregationTrigger
 from repro.cloud.database import MetricsDatabase
@@ -54,13 +54,13 @@ class TaskResult:
 
     task_id: str
     state: TaskState
-    allocation: Optional[AllocationResult]
+    allocation: AllocationResult | None
     started_at: float
     finished_at: float
     rounds: list[AggregationRecord] = field(default_factory=list)
-    flow_stats: Optional[object] = None
+    flow_stats: object | None = None
     benchmark_records: list = field(default_factory=list)
-    error: Optional[str] = None
+    error: str | None = None
 
     @property
     def makespan(self) -> float:
@@ -102,16 +102,16 @@ class TaskRunner:
         phones: list[VirtualPhone],
         adb: SimulatedAdb,
         storage: ObjectStorage,
-        deviceflow: Optional[DeviceFlow] = None,
-        logical_cost: Optional[LogicalCostModel] = None,
-        physical_cost: Optional[PhysicalCostModel] = None,
-        streams: Optional[RandomStreams] = None,
-        busy_registry: Optional[set] = None,
-        db: Optional[MetricsDatabase] = None,
-        monitor: Optional[Monitor] = None,
-        fixed_allocation: Optional[dict[str, int]] = None,
-        dataset: Optional[FederatedDataset] = None,
-        unit_bundle: Optional[ResourceBundle] = None,
+        deviceflow: DeviceFlow | None = None,
+        logical_cost: LogicalCostModel | None = None,
+        physical_cost: PhysicalCostModel | None = None,
+        streams: RandomStreams | None = None,
+        busy_registry: set | None = None,
+        db: MetricsDatabase | None = None,
+        monitor: Monitor | None = None,
+        fixed_allocation: dict[str, int] | None = None,
+        dataset: FederatedDataset | None = None,
+        unit_bundle: ResourceBundle | None = None,
         batch: bool = True,
     ) -> None:
         self.sim = sim
@@ -138,8 +138,8 @@ class TaskRunner:
             on_sample=self._store_sample if db is not None else None,
             batch=batch,
         )
-        self.service: Optional[AggregationService] = None
-        self.result: Optional[TaskResult] = None
+        self.service: AggregationService | None = None
+        self.result: TaskResult | None = None
 
     # ------------------------------------------------------------------
     def run(self) -> Generator:
@@ -212,7 +212,7 @@ class TaskRunner:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
-    def _build_dataset(self) -> Optional[FederatedDataset]:
+    def _build_dataset(self) -> FederatedDataset | None:
         if not self.spec.numeric:
             return None
         if self._provided_dataset is not None:
@@ -253,7 +253,7 @@ class TaskRunner:
         return solve_allocation(problem)
 
     def _build_plans(
-        self, dataset: Optional[FederatedDataset], allocation: AllocationResult
+        self, dataset: FederatedDataset | None, allocation: AllocationResult
     ) -> tuple[list[GradeExecutionPlan], list[PhoneAssignment], dict[str, list[str]]]:
         """Split each grade's device ids across tiers per the allocation."""
         available_ids = dataset.device_ids() if dataset is not None else None
@@ -314,7 +314,7 @@ class TaskRunner:
         return logical_plans, phone_plans, grade_devices
 
     def _build_service(
-        self, dataset: Optional[FederatedDataset], grade_devices: dict[str, list[str]]
+        self, dataset: FederatedDataset | None, grade_devices: dict[str, list[str]]
     ) -> AggregationService:
         model = LogisticRegressionModel(self.spec.feature_dim) if self.spec.numeric else None
         test_set = dataset.test if dataset is not None else None

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 
 class Event:
@@ -106,7 +107,7 @@ class EventQueue:
         self._live += 1
         return event
 
-    def pop(self) -> Optional[Event]:
+    def pop(self) -> Event | None:
         """Remove and return the earliest non-cancelled event, or ``None``."""
         heap = self._heap
         while heap:
@@ -149,7 +150,7 @@ class EventQueue:
         self._live -= len(batch)
         return batch
 
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> float | None:
         """Time of the earliest pending event without removing it."""
         heap = self._heap
         while heap and heap[0][3].cancelled:

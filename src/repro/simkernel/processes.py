@@ -20,7 +20,8 @@ describing what the process is waiting for:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+from collections.abc import Callable, Generator, Iterable
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.simkernel.simulator import Simulator
@@ -44,7 +45,7 @@ class Interrupt(Exception):
 class Waitable:
     """Base class for everything a process may ``yield``."""
 
-    def subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+    def subscribe(self, sim: Simulator, callback: Callable[[Any, BaseException | None], None]) -> None:
         """Arrange for ``callback(value, error)`` once the waitable resolves."""
         raise NotImplementedError
 
@@ -60,7 +61,7 @@ class Timeout(Waitable):
         self.delay = float(delay)
         self.value = value
 
-    def subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+    def subscribe(self, sim: Simulator, callback: Callable[[Any, BaseException | None], None]) -> None:
         sim.schedule(self.delay, callback, self.value, None)
 
     def __repr__(self) -> str:
@@ -82,8 +83,8 @@ class Signal(Waitable):
         self.name = name
         self._fired = False
         self._value: Any = None
-        self._error: Optional[BaseException] = None
-        self._waiters: list[tuple["Simulator", Callable[[Any, Optional[BaseException]], None]]] = []
+        self._error: BaseException | None = None
+        self._waiters: list[tuple["Simulator", Callable[[Any, BaseException | None], None]]] = []
 
     @property
     def fired(self) -> bool:
@@ -96,7 +97,7 @@ class Signal(Waitable):
         return self._value
 
     @property
-    def error(self) -> Optional[BaseException]:
+    def error(self) -> BaseException | None:
         """Exception the signal failed with, if any."""
         return self._error
 
@@ -108,7 +109,7 @@ class Signal(Waitable):
         """Resolve the signal with an exception."""
         self._resolve(None, error)
 
-    def _resolve(self, value: Any, error: Optional[BaseException]) -> None:
+    def _resolve(self, value: Any, error: BaseException | None) -> None:
         if self._fired:
             raise RuntimeError(f"Signal {self.name!r} fired twice")
         self._fired = True
@@ -118,7 +119,7 @@ class Signal(Waitable):
         for sim, callback in waiters:
             sim.schedule(0.0, callback, value, error)
 
-    def subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+    def subscribe(self, sim: Simulator, callback: Callable[[Any, BaseException | None], None]) -> None:
         if self._fired:
             sim.schedule(0.0, callback, self._value, self._error)
         else:
@@ -134,16 +135,16 @@ class Process(Waitable):
 
     __slots__ = ("sim", "name", "_generator", "_done", "_result", "_error", "_waiters", "_interrupted", "_current_resume")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "") -> None:
         self.sim = sim
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._done = False
         self._result: Any = None
-        self._error: Optional[BaseException] = None
-        self._waiters: list[Callable[[Any, Optional[BaseException]], None]] = []
+        self._error: BaseException | None = None
+        self._waiters: list[Callable[[Any, BaseException | None], None]] = []
         self._interrupted = False
-        self._current_resume: Optional[Any] = None
+        self._current_resume: Any | None = None
 
     @property
     def done(self) -> bool:
@@ -156,7 +157,7 @@ class Process(Waitable):
         return self._result
 
     @property
-    def error(self) -> Optional[BaseException]:
+    def error(self) -> BaseException | None:
         """Exception that terminated the process, if any."""
         return self._error
 
@@ -167,7 +168,7 @@ class Process(Waitable):
         self._interrupted = True
         self.sim.schedule(0.0, self._step_throw, Interrupt(cause))
 
-    def _step_throw(self, exc: BaseException, _err: Optional[BaseException] = None) -> None:
+    def _step_throw(self, exc: BaseException, _err: BaseException | None = None) -> None:
         if self._done:
             return
         try:
@@ -181,7 +182,7 @@ class Process(Waitable):
     def _start(self) -> None:
         self._advance(None, None)
 
-    def _advance(self, value: Any, error: Optional[BaseException]) -> None:
+    def _advance(self, value: Any, error: BaseException | None) -> None:
         if self._done:
             return
         try:
@@ -203,7 +204,7 @@ class Process(Waitable):
             )
         target.subscribe(self.sim, self._advance)
 
-    def _finish(self, result: Any, error: Optional[BaseException]) -> None:
+    def _finish(self, result: Any, error: BaseException | None) -> None:
         self._done = True
         self._result = result
         self._error = error
@@ -213,7 +214,7 @@ class Process(Waitable):
         if error is not None and not waiters:
             self.sim._report_orphan_failure(self, error)
 
-    def subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+    def subscribe(self, sim: Simulator, callback: Callable[[Any, BaseException | None], None]) -> None:
         if self._done:
             sim.schedule(0.0, callback, self._result, self._error)
         else:
@@ -234,15 +235,15 @@ class AllOf(Waitable):
     def __init__(self, children: Iterable[Waitable]) -> None:
         self.children = list(children)
 
-    def subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+    def subscribe(self, sim: Simulator, callback: Callable[[Any, BaseException | None], None]) -> None:
         if not self.children:
             sim.schedule(0.0, callback, [], None)
             return
         results: list[Any] = [None] * len(self.children)
         state = {"remaining": len(self.children), "failed": False}
 
-        def make_child_callback(index: int) -> Callable[[Any, Optional[BaseException]], None]:
-            def child_done(value: Any, error: Optional[BaseException]) -> None:
+        def make_child_callback(index: int) -> Callable[[Any, BaseException | None], None]:
+            def child_done(value: Any, error: BaseException | None) -> None:
                 if state["failed"]:
                     return
                 if error is not None:
@@ -268,11 +269,11 @@ class AnyOf(Waitable):
         if not self.children:
             raise ValueError("AnyOf requires at least one child waitable")
 
-    def subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+    def subscribe(self, sim: Simulator, callback: Callable[[Any, BaseException | None], None]) -> None:
         state = {"resolved": False}
 
-        def make_child_callback(index: int) -> Callable[[Any, Optional[BaseException]], None]:
-            def child_done(value: Any, error: Optional[BaseException]) -> None:
+        def make_child_callback(index: int) -> Callable[[Any, BaseException | None], None]:
+            def child_done(value: Any, error: BaseException | None) -> None:
                 if state["resolved"]:
                     return
                 state["resolved"] = True

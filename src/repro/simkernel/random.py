@@ -20,7 +20,7 @@ def stable_hash(text: str) -> tuple[int, int, int, int]:
     Python's built-in ``hash`` is salted per process, so it cannot be used
     for reproducible stream derivation; SHA-256 is used instead.
     """
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    digest = hashlib.sha256(text.encode()).digest()
     return tuple(int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4))  # type: ignore[return-value]
 
 

@@ -9,7 +9,7 @@ message hand-off between producers and consumers uses a :class:`Store`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any
 
 from repro.simkernel.processes import Signal
 from repro.simkernel.simulator import Simulator
@@ -31,7 +31,7 @@ class Semaphore:
         self.name = name
         self.capacity = capacity
         self._available = capacity
-        self._waiters: Deque[tuple[int, Signal]] = deque()
+        self._waiters: deque[tuple[int, Signal]] = deque()
 
     @property
     def available(self) -> int:
@@ -100,8 +100,8 @@ class Store:
     def __init__(self, sim: Simulator, name: str = "store") -> None:
         self.sim = sim
         self.name = name
-        self._items: Deque[Any] = deque()
-        self._getters: Deque[Signal] = deque()
+        self._items: deque[Any] = deque()
+        self._getters: deque[Signal] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -123,7 +123,7 @@ class Store:
             self._getters.append(signal)
         return signal
 
-    def get_nowait(self) -> Optional[Any]:
+    def get_nowait(self) -> Any | None:
         """Pop an item if available, else ``None`` (never blocks)."""
         if self._items:
             return self._items.popleft()

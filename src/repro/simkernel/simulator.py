@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional
+from collections.abc import Callable, Generator
+from typing import Any
 
 from repro.simkernel.events import Event, EventQueue
 from repro.simkernel.processes import Process, ProcessError
@@ -30,7 +31,7 @@ class Simulator:
         self.strict = strict
         self.orphan_failures: list[tuple[Process, BaseException]] = []
         self._queue = EventQueue()
-        self._pending_error: Optional[ProcessError] = None
+        self._pending_error: ProcessError | None = None
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -103,7 +104,7 @@ class Simulator:
         self._raise_pending()
         return fired
 
-    def run(self, until: Optional[float] = None, *, batch: bool = False) -> float:
+    def run(self, until: float | None = None, *, batch: bool = False) -> float:
         """Run until the queue drains or the clock would pass ``until``.
 
         Returns the clock value when the loop stops.  With ``until`` set,
@@ -140,19 +141,31 @@ class Simulator:
             self.now = max(self.now, until)
         return self.now
 
-    def run_until(self, predicate: Callable[[], bool], max_time: Optional[float] = None) -> float:
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_time: float | None = None,
+        *,
+        batch: bool = False,
+    ) -> float:
         """Step until ``predicate()`` is true; optionally bound by time.
 
         Raises ``TimeoutError`` if ``max_time`` is exceeded or the queue
-        drains before the predicate holds.
+        drains before the predicate holds.  With ``batch=True`` the loop
+        drains same-timestamp events through :meth:`step_batch` (the fast
+        path large scenario runs ride); the predicate is then evaluated at
+        batch boundaries, so it may observe a state a few same-timestamp
+        events later than the per-event loop would — identical simulated
+        results, coarser stopping granularity.
         """
+        step = self.step_batch if batch else self.step
         while not predicate():
             next_time = self._queue.peek_time()
             if next_time is None:
                 raise TimeoutError("event queue drained before predicate became true")
             if max_time is not None and next_time > max_time:
                 raise TimeoutError(f"predicate still false at max_time={max_time!r}")
-            self.step()
+            step()
         return self.now
 
     @property

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -46,10 +47,10 @@ class PooledTimeout:
 
     __slots__ = ("_pool", "_index", "_final")
 
-    def __init__(self, pool: "TimeoutPool", index: int) -> None:
+    def __init__(self, pool: TimeoutPool, index: int) -> None:
         self._pool = pool
         self._index = index
-        self._final: Optional[int] = None  # terminal state once resolved
+        self._final: int | None = None  # terminal state once resolved
 
     @property
     def cancelled(self) -> bool:
@@ -80,13 +81,13 @@ class RecurringTimeout:
     __slots__ = ("_pool", "interval", "_callback", "_args", "_entry", "_cancelled")
 
     def __init__(
-        self, pool: "TimeoutPool", interval: float, callback: Callable[..., Any], args: tuple
+        self, pool: TimeoutPool, interval: float, callback: Callable[..., Any], args: tuple
     ) -> None:
         self._pool = pool
         self.interval = float(interval)
         self._callback = callback
         self._args = args
-        self._entry: Optional[PooledTimeout] = None
+        self._entry: PooledTimeout | None = None
         self._cancelled = False
 
     @property
@@ -148,14 +149,14 @@ class TimeoutPool:
     #: half the slots are dead (fired or cancelled).
     _COMPACT_THRESHOLD = 256
 
-    def __init__(self, sim: "Simulator", name: str = "timeout-pool") -> None:
+    def __init__(self, sim: Simulator, name: str = "timeout-pool") -> None:
         self.sim = sim
         self.name = name
         # Singleton entries: parallel NumPy buffers + payload/handle lists.
         self._times = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
         self._state = np.zeros(self._INITIAL_CAPACITY, dtype=np.int8)
-        self._payloads: list[Optional[tuple[Callable[..., Any], tuple]]] = [None] * self._INITIAL_CAPACITY
-        self._handles: list[Optional[PooledTimeout]] = [None] * self._INITIAL_CAPACITY
+        self._payloads: list[tuple[Callable[..., Any], tuple] | None] = [None] * self._INITIAL_CAPACITY
+        self._handles: list[PooledTimeout | None] = [None] * self._INITIAL_CAPACITY
         self._count = 0
         self._dead = 0
         # Sequence chunks: a small heap keyed by each chunk's next deadline.
@@ -216,7 +217,7 @@ class TimeoutPool:
         interval: float,
         callback: Callable[..., Any],
         *args: Any,
-        first_at: Optional[float] = None,
+        first_at: float | None = None,
     ) -> RecurringTimeout:
         """Fire ``callback(*args)`` every ``interval`` until cancelled.
 
@@ -239,7 +240,7 @@ class TimeoutPool:
         """Entries still waiting to fire (singletons + sequence tails)."""
         return self._live
 
-    def next_deadline(self) -> Optional[float]:
+    def next_deadline(self) -> float | None:
         """Earliest pending deadline across singletons and chunks."""
         candidates = []
         if self._chunk_heap:

@@ -318,3 +318,26 @@ class TestMonitor:
         monitor = Monitor(Simulator())
         with pytest.raises(ValueError):
             monitor.log("")
+
+    def test_kind_index_matches_full_scan(self):
+        """of_kind/last are index-backed; they must equal a naive rescan."""
+        sim = Simulator()
+        monitor = Monitor(sim)
+        kinds = ["alpha", "beta", "gamma"]
+        for i in range(300):
+            sim.schedule(float(i), monitor.log, kinds[i % 3])
+        sim.run()
+        # Interleave post-run appends so the index sees mixed orders too.
+        monitor.log("beta", tag="late")
+        for kind in kinds + ["ghost"]:
+            scanned = [e for e in monitor.events if e.kind == kind]
+            assert monitor.of_kind(kind) == scanned
+            assert monitor.last(kind) == (scanned[-1] if scanned else None)
+        assert monitor.last("beta").fields == {"tag": "late"}
+
+    def test_of_kind_returns_copy(self):
+        monitor = Monitor(Simulator())
+        monitor.log("tick", value=1)
+        bucket = monitor.of_kind("tick")
+        bucket.append("junk")
+        assert len(monitor.of_kind("tick")) == 1

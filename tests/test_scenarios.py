@@ -1,0 +1,357 @@
+"""Scenario-engine tests: specs, deferred submission, faults, determinism.
+
+The heart of the suite is the scenario-level extension of the repo's
+differential-test pattern: the same spec + seed must produce
+byte-identical reports across runs, and the batched fast path must agree
+with the legacy per-device generator path on every KPI.
+"""
+
+import json
+
+import pytest
+
+from repro import GradeRequirement, PlatformConfig, ResourceBundle, SimDC, TaskSpec, TaskState
+from repro.cluster import NodeSpec
+from repro.ml import standard_fl_flow
+from repro.scenarios import (
+    SCENARIOS,
+    ArrivalSpec,
+    DispatchSpec,
+    FaultSpec,
+    GradeSpec,
+    PopulationSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    TenantSpec,
+    build_scenario,
+    run_scenario,
+)
+from repro.scenarios.kpis import jain_index
+from repro.simkernel import RandomStreams
+
+
+def tiny_scenario(**overrides) -> ScenarioSpec:
+    """A fast two-tenant scenario the fault/determinism tests perturb."""
+    defaults = dict(
+        name="tiny",
+        seed=0,
+        horizon_s=600.0,
+        cluster_nodes=2,  # 40 bundles
+        tenants=[
+            TenantSpec(
+                name="alpha",
+                priority=5,
+                rounds=2,
+                grades=[GradeSpec(grade="High", n_devices=8, bundles=8, n_phones=1)],
+                arrival=ArrivalSpec(kind="periodic", count=2, period_s=200.0, offset_s=10.0),
+                dispatch=DispatchSpec(kind="realtime", thresholds=[3], failure_prob=0.1),
+            ),
+            TenantSpec(
+                name="beta",
+                priority=1,
+                numeric=True,
+                feature_dim=32,
+                records_per_device=6,
+                grades=[GradeSpec(grade="Low", n_devices=6, bundles=6)],
+                arrival=ArrivalSpec(kind="poisson", count=2, rate_per_hour=30.0),
+            ),
+        ],
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+# ----------------------------------------------------------------------
+# spec serialization and validation
+# ----------------------------------------------------------------------
+class TestSpecSerialization:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_library_specs_round_trip_through_dicts(self, name):
+        spec = build_scenario(name, scale=300, seed=4)
+        data = spec.to_dict()
+        # The dict must be plain data (JSON-serializable without helpers).
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.to_dict() == data
+
+    def test_round_tripped_spec_runs_identically(self):
+        spec = tiny_scenario()
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert run_scenario(rebuilt).to_json() == run_scenario(spec).to_json()
+
+    def test_validation_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="lognormal")
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="trace", times=[])
+        with pytest.raises(ValueError):
+            DispatchSpec(kind="multicast")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="network_degradation", at=10.0, until=5.0, factor=0.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="straggler", at=0.0, until=10.0, factor=0.9)
+        with pytest.raises(ValueError):
+            PopulationSpec(network_mix=[["carrier-pigeon", 1.0]])
+        with pytest.raises(ValueError):
+            tiny_scenario(tenants=[])
+
+    def test_arrival_processes(self):
+        rng = RandomStreams(0).get("test.arrivals")
+        assert ArrivalSpec(kind="trace", times=[5.0, 1.0]).submission_times(rng) == [1.0, 5.0]
+        periodic = ArrivalSpec(kind="periodic", count=3, period_s=60.0, offset_s=30.0)
+        assert periodic.submission_times(rng) == [30.0, 90.0, 150.0]
+        poisson = ArrivalSpec(kind="poisson", count=50, rate_per_hour=60.0)
+        times = poisson.submission_times(RandomStreams(0).get("test.arrivals"))
+        assert len(times) == 50
+        assert times == sorted(times) and times[0] > 0
+        # Mean gap should be in the vicinity of 60s (rate 60/h).
+        assert 30.0 < times[-1] / 50 < 120.0
+
+    def test_from_dict_respects_field_defaults(self):
+        tenant = TenantSpec.from_dict({"name": "defaults-only"})
+        assert len(tenant.grades) == 1  # the documented default grade
+
+    def test_same_length_tenant_names_get_distinct_datasets(self):
+        a = TenantSpec(name="model-a").build_task("s", 0, 0, PopulationSpec())
+        b = TenantSpec(name="model-b").build_task("s", 0, 0, PopulationSpec())
+        assert a.dataset_seed != b.dataset_seed
+
+    def test_population_failure_prob_combines_network_and_dropout(self):
+        clean = PopulationSpec(network_mix=[["wifi", 1.0]])
+        assert clean.upload_failure_prob() == pytest.approx(0.01)
+        flaky = PopulationSpec(network_mix=[["wifi", 1.0]], dropout_prob=0.5)
+        assert flaky.upload_failure_prob() == pytest.approx(1 - 0.99 * 0.5)
+
+
+# ----------------------------------------------------------------------
+# deferred submission (the platform-level path the engine rides)
+# ----------------------------------------------------------------------
+def _small_platform(**kwargs):
+    return SimDC(PlatformConfig(seed=0, cluster_nodes=[NodeSpec(20, 30)] * 2, **kwargs))
+
+
+def _small_task(name="deferred"):
+    return TaskSpec(
+        name=name,
+        grades=[
+            GradeRequirement(
+                grade="High", n_devices=4, bundles=4,
+                device_bundle=ResourceBundle(cpus=1, memory_gb=1),
+            )
+        ],
+        flow=standard_fl_flow(epochs=1),
+        feature_dim=32,
+        records_per_device=6,
+    )
+
+
+class TestDeferredSubmission:
+    def test_submit_at_delays_queue_entry(self):
+        platform = _small_platform()
+        spec = _small_task()
+        platform.submit(spec, at=50.0)
+        assert platform.task_manager.pending_submissions == 1
+        assert not platform.task_manager.all_idle
+        platform.run(until=49.0)
+        assert spec.state is TaskState.PENDING
+        platform.run_until_idle(max_time=1e6)
+        result = platform.result(spec.task_id)
+        assert result.state is TaskState.COMPLETED
+        assert result.started_at >= 50.0
+        assert platform.task_manager.pending_submissions == 0
+
+    def test_submit_in_the_past_rejected(self):
+        platform = _small_platform()
+        platform.run(until=100.0)
+        with pytest.raises(ValueError):
+            platform.submit(_small_task(), at=50.0)
+
+    def test_deferred_matches_immediate_submission_at_same_time(self):
+        def run(deferred: bool):
+            platform = _small_platform()
+            spec = _small_task()
+            if deferred:
+                platform.submit(spec, at=0.0)
+            else:
+                platform.submit(spec)
+            platform.run_until_idle(max_time=1e6)
+            result = platform.result(spec.task_id)
+            return (result.makespan, result.rounds[-1].test_loss)
+
+        assert run(True) == run(False)
+
+
+# ----------------------------------------------------------------------
+# determinism + batched/legacy equivalence (the differential contract)
+# ----------------------------------------------------------------------
+class TestScenarioDeterminism:
+    def test_same_spec_same_seed_byte_identical_report(self):
+        first = run_scenario(tiny_scenario())
+        second = run_scenario(tiny_scenario())
+        assert first.to_json() == second.to_json()
+
+    def test_different_seed_changes_the_run(self):
+        first = run_scenario(tiny_scenario(seed=0))
+        second = run_scenario(tiny_scenario(seed=1))
+        assert first.to_json() != second.to_json()
+
+    def test_batched_and_legacy_paths_agree(self):
+        batched = run_scenario(tiny_scenario(), batch=True).to_dict()
+        legacy = run_scenario(tiny_scenario(), batch=False).to_dict()
+        assert batched.pop("batch") is True and legacy.pop("batch") is False
+        assert batched == legacy
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_library_scenarios_deterministic_at_small_scale(self, name):
+        spec_a = build_scenario(name, scale=120, seed=2)
+        spec_b = build_scenario(name, scale=120, seed=2)
+        assert run_scenario(spec_a).to_json() == run_scenario(spec_b).to_json()
+
+
+# ----------------------------------------------------------------------
+# KPIs
+# ----------------------------------------------------------------------
+class TestScenarioReport:
+    def test_report_counts_and_kpis(self):
+        report = run_scenario(tiny_scenario())
+        assert report.total_tasks == 4
+        assert set(report.tenants) == {"alpha", "beta"}
+        alpha = report.tenants["alpha"]
+        assert alpha.submitted == alpha.completed == 2
+        assert alpha.makespan.n == 2 and alpha.makespan.mean > 0
+        assert alpha.round_duration.n == 4  # 2 tasks x 2 rounds
+        assert alpha.updates_expected == 32
+        # DeviceFlow dropout (failure_prob=0.1) loses some updates.
+        assert alpha.updates_aggregated + alpha.dropout_lost == alpha.updates_expected
+        beta = report.tenants["beta"]
+        assert beta.final_accuracy is not None and 0.4 < beta.final_accuracy <= 1.0
+        assert alpha.final_accuracy is None  # time-only tenant
+        assert 0 < report.bundle_utilization < 1
+        assert report.fairness == pytest.approx(jain_index(
+            [report.tenants[t].turnaround.mean / report.tenants[t].makespan.mean
+             for t in ("alpha", "beta")]
+        ))
+
+    def test_queue_wait_positive_under_contention(self):
+        spec = tiny_scenario(
+            cluster_nodes=1,  # 20 bundles: the two tenants cannot co-run
+            tenants=[
+                TenantSpec(
+                    name="hog",
+                    priority=9,
+                    grades=[GradeSpec(grade="High", n_devices=16, bundles=16)],
+                    arrival=ArrivalSpec(kind="trace", times=[0.0]),
+                ),
+                TenantSpec(
+                    name="starved",
+                    priority=1,
+                    grades=[GradeSpec(grade="High", n_devices=16, bundles=16)],
+                    arrival=ArrivalSpec(kind="trace", times=[1.0]),
+                ),
+            ],
+        )
+        report = run_scenario(spec)
+        assert report.tenants["starved"].queue_wait.mean > 0
+        assert report.tenants["hog"].queue_wait.mean < 1.0
+        assert report.fairness < 1.0
+
+
+# ----------------------------------------------------------------------
+# fault injection
+# ----------------------------------------------------------------------
+class TestFaultInjection:
+    def test_phone_crash_removes_and_recovers_fleet_capacity(self):
+        spec = tiny_scenario(
+            faults=[FaultSpec(kind="phone_crash", at=5.0, until=400.0, grade="High", count=3)]
+        )
+        runner = ScenarioRunner(spec)
+        before = runner.platform.resource_manager.phones_by_grade()["High"]
+        report = runner.run()
+        after = runner.platform.resource_manager.phones_by_grade()["High"]
+        assert report.fault_events["fault_phone_crash"] == 3
+        assert report.fault_events["fault_phone_recover"] == 3
+        assert after == before
+        assert len(runner.platform._busy_registry) == 0
+        crash_times = [e.time for e in runner.platform.monitor.of_kind("fault_phone_crash")]
+        assert crash_times == [5.0] * 3
+
+    def test_phone_crash_without_recovery_shrinks_fleet(self):
+        spec = tiny_scenario(
+            faults=[FaultSpec(kind="phone_crash", at=5.0, grade="Low", count=2)]
+        )
+        runner = ScenarioRunner(spec)
+        before = runner.platform.resource_manager.phones_by_grade()["Low"]
+        runner.run()
+        assert runner.platform.resource_manager.phones_by_grade()["Low"] == before - 2
+
+    def test_network_degradation_slows_delivery_then_restores(self):
+        healthy = run_scenario(tiny_scenario())
+        degraded_spec = tiny_scenario(
+            faults=[
+                FaultSpec(kind="network_degradation", at=0.0, until=2000.0, factor=0.001)
+            ]
+        )
+        runner = ScenarioRunner(degraded_spec)
+        report = runner.run()
+        assert runner.platform.deviceflow.capacity_scale == 1.0  # restored
+        # 0.1% capacity (0.7 msg/s) makes transmission outlast computation,
+        # stretching the dispatch tail of the flow-using tenant.
+        assert report.tenants["alpha"].makespan.mean > healthy.tenants["alpha"].makespan.mean
+
+    def test_straggler_window_slows_covered_submissions_only(self):
+        healthy = run_scenario(tiny_scenario())
+        slowed = run_scenario(
+            tiny_scenario(
+                faults=[
+                    FaultSpec(kind="straggler", at=0.0, until=100.0, factor=3.0, tenant="alpha")
+                ]
+            )
+        )
+        # alpha's first submission (t=10) is covered, the second (t=210) is not.
+        assert slowed.tenants["alpha"].makespan.max > healthy.tenants["alpha"].makespan.max
+        # beta unaffected (the untouched tenant's KPIs are identical).
+        assert slowed.tenants["beta"] == healthy.tenants["beta"]
+
+    def test_overlapping_degradation_windows_stack_and_unwind(self):
+        spec = tiny_scenario(
+            faults=[
+                FaultSpec(kind="network_degradation", at=0.0, until=500.0, factor=0.5),
+                FaultSpec(kind="network_degradation", at=10.0, until=50.0, factor=0.2),
+            ]
+        )
+        runner = ScenarioRunner(spec)
+        runner.schedule()
+        sim = runner.platform.sim
+        flow = runner.platform.deviceflow
+        sim.run(until=20.0)
+        assert flow.capacity_scale == pytest.approx(0.1)  # both windows open
+        sim.run(until=60.0)
+        assert flow.capacity_scale == pytest.approx(0.5)  # inner closed, outer holds
+        sim.run(until=600.0)
+        assert flow.capacity_scale == 1.0
+
+    def test_fault_covers_submission_filtering(self):
+        fault = FaultSpec(kind="straggler", at=10.0, until=20.0, factor=2.0, tenant="a")
+        assert fault.covers_submission("a", 10.0)
+        assert not fault.covers_submission("a", 20.0)
+        assert not fault.covers_submission("b", 15.0)
+        anyone = FaultSpec(kind="straggler", at=10.0, until=20.0, factor=2.0)
+        assert anyone.covers_submission("b", 15.0)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_list_show_run(self, capsys, tmp_path):
+        from repro.scenarios.__main__ import main
+
+        assert main(["list"]) == 0
+        assert "diurnal_multitenant" in capsys.readouterr().out
+        assert main(["show", "flash_crowd", "--scale", "100"]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["name"] == "flash_crowd"
+        out_path = tmp_path / "report.json"
+        assert main(["run", "flash_crowd", "--scale", "100", "--json", str(out_path)]) == 0
+        assert "flash_crowd" in capsys.readouterr().out
+        written = json.loads(out_path.read_text())
+        assert written["total_tasks"] == 16
