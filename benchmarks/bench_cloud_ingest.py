@@ -1,0 +1,177 @@
+"""Bench: columnar cloud ingestion vs the per-device scalar hot loop.
+
+After PR 4 batched both execution tiers, the profiled per-device cost of
+a large direct round lived entirely on the cloud side: one
+``ObjectStorage.put``, one ``Message`` object, one ``receive_message``
+(with its storage ``get``) and one ``FedAvgAggregator.add`` per simulated
+device.  The columnar ingestion API collapses all of that to one
+``put_block``, one ``MessageBlock`` and one ``receive_block`` exact fold
+per round.  This sweep measures ingest-and-aggregate wall time for a
+whole round at 5k-50k devices and asserts the two paths leave storage
+and the aggregated model bit-identical.
+
+``measure_cloud_block_speedup`` is a plain function so ``ci_gate.py``
+can gate the 12k-device point (>=2x floor).
+"""
+
+import time
+
+import numpy as np
+from conftest import full_scale
+
+from repro.cloud import AggregationService, ObjectStorage
+from repro.cloud.aggregation import AggregationTrigger
+from repro.deviceflow import Message, MessageBlock
+from repro.experiments.render import format_table
+from repro.ml.fedavg import ModelUpdate
+from repro.ml.model import LogisticRegressionModel
+from repro.simkernel import Simulator
+
+#: Devices-per-round sweep (a Fig. 8-scale direct task's upload burst).
+SWEEP = (5_000, 10_000, 20_000, 50_000)
+FEATURE_DIM = 64
+PAYLOAD_BYTES = FEATURE_DIM * 8 + 8 + 64
+
+
+def make_round_updates(n_devices: int, seed: int = 0):
+    """One round's stacked updates plus per-device metadata arrays."""
+    rng = np.random.default_rng(seed)
+    weights = rng.standard_normal((n_devices, FEATURE_DIM))
+    biases = rng.standard_normal(n_devices)
+    n_samples = rng.integers(5, 40, size=n_devices).astype(np.int64)
+    finished_at = np.sort(rng.uniform(100.0, 200.0, size=n_devices))
+    device_ids = [f"d{i:06d}" for i in range(n_devices)]
+    refs = [f"bench/{d}/r1" for d in device_ids]
+    return weights, biases, n_samples, finished_at, device_ids, refs
+
+
+def ingest_round(n_devices: int, block: bool) -> dict:
+    """Ingest and fold one round; returns wall time and result fingerprints."""
+    weights, biases, n_samples, finished_at, device_ids, refs = make_round_updates(n_devices)
+    sim = Simulator()
+    storage = ObjectStorage()
+    service = AggregationService(
+        sim, storage, AggregationTrigger(), model=LogisticRegressionModel(FEATURE_DIM)
+    )
+
+    wall_start = time.perf_counter()
+    if block:
+        storage.put_block(
+            refs,
+            [None] * n_devices,  # payload never read on the block path
+            PAYLOAD_BYTES,
+            now=finished_at,
+            writers=device_ids,
+        )
+        service.receive_block(
+            MessageBlock(
+                task_id="bench",
+                round_index=1,
+                device_ids=device_ids,
+                payload_refs=refs,
+                size_bytes=PAYLOAD_BYTES,
+                n_samples=n_samples,
+                finished_at=finished_at,
+                update_weights=weights,
+                update_biases=biases,
+            )
+        )
+    else:
+        for i, (device_id, ref) in enumerate(zip(device_ids, refs)):
+            update = ModelUpdate(
+                device_id=device_id,
+                round_index=1,
+                weights=weights[i],
+                bias=float(biases[i]),
+                n_samples=int(n_samples[i]),
+            )
+            storage.put(ref, update, PAYLOAD_BYTES, now=float(finished_at[i]), writer=device_id)
+            service.receive_message(
+                Message(
+                    task_id="bench",
+                    device_id=device_id,
+                    round_index=1,
+                    payload_ref=ref,
+                    size_bytes=PAYLOAD_BYTES,
+                    n_samples=int(n_samples[i]),
+                )
+            )
+    record = service.aggregate_now()
+    wall = time.perf_counter() - wall_start
+
+    return {
+        "wall": wall,
+        "model_weights": service.model.weights.tobytes(),
+        "model_bias": service.model.bias,
+        "n_updates": record.n_updates,
+        "n_samples": record.n_samples,
+        "put_count": storage.put_count,
+        "bytes_written": storage.total_bytes_written,
+        "bytes_received": service.bytes_received,
+        "stored_keys": storage.keys(),
+        "stored_at": tuple(storage.head(k).stored_at for k in storage.keys()[:64]),
+    }
+
+
+def measure_cloud_block_speedup(n_devices: int, repeats: int = 2) -> dict:
+    """Wall-clock comparison of scalar vs columnar cloud ingestion.
+
+    ``identical`` is true only when both paths leave a bit-identical
+    global model, the same aggregation record counters, and
+    indistinguishable storage state (keys, byte accounting, per-key
+    ``stored_at`` stamps).
+    """
+
+    def best(block: bool) -> tuple[float, dict]:
+        walls, result = [], None
+        for _ in range(repeats):
+            result = ingest_round(n_devices, block=block)
+            walls.append(result["wall"])
+        return min(walls), result
+
+    scalar_wall, scalar = best(block=False)
+    block_wall, blocked = best(block=True)
+    identical = all(scalar[key] == blocked[key] for key in scalar if key != "wall")
+    return {
+        "n_devices": n_devices,
+        "scalar_wall_s": scalar_wall,
+        "block_wall_s": block_wall,
+        "block_speedup": scalar_wall / block_wall,
+        "identical": identical,
+    }
+
+
+def test_cloud_ingest_sweep(persist_result):
+    """Columnar ingestion beats the scalar loop across the sweep.
+
+    The gate demands >=2x at the 12k-device point with the global model,
+    aggregation counters and storage state compared bit-for-bit; smaller
+    points are reported for the scaling shape.
+    """
+    sweep = SWEEP if full_scale() else SWEEP[:1] + SWEEP[1:2]
+    rows = []
+    final = None
+    for n_devices in sweep:
+        stats = measure_cloud_block_speedup(n_devices)
+        assert stats["identical"], (
+            f"block ingestion changed the simulated cloud state at n={n_devices}"
+        )
+        rows.append(
+            (
+                n_devices,
+                round(stats["scalar_wall_s"] * 1e3, 1),
+                round(stats["block_wall_s"] * 1e3, 1),
+                f"{stats['block_speedup']:.1f}x",
+            )
+        )
+        final = stats
+    assert final["block_speedup"] >= 2.0
+    persist_result(
+        "cloud_ingest_sweep",
+        format_table(
+            "Cloud tier: one round ingested and folded, per-device scalar vs "
+            "columnar block (results bit-identical)",
+            ["devices", "scalar ms", "block ms", "speedup"],
+            rows,
+        ),
+    )

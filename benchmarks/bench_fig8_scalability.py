@@ -14,6 +14,7 @@ import numpy as np
 from conftest import full_scale
 
 from repro.baselines import SimDCRoundModel
+from repro.cloud import CallbackSink
 from repro.cluster import (
     DeviceAssignment,
     GradeExecutionPlan,
@@ -99,7 +100,7 @@ def event_driven_round_time(
     def run():
         start = sim.now
         yield sim.process(logical.prepare([plan]))
-        yield sim.process(logical.run_round(1, None, 0.0, 0, lambda o: None))
+        yield sim.process(logical.run_round(1, None, 0.0, 0, CallbackSink(lambda o: None)))
         return sim.now - start
 
     proc = sim.process(run())

@@ -30,6 +30,7 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 sys.path.insert(0, str(BENCH_DIR))
 
+from bench_cloud_ingest import measure_cloud_block_speedup  # noqa: E402
 from bench_fig8_scalability import (  # noqa: E402
     measure_numeric_sweep_speedup,
     measure_sweep_speedup,
@@ -58,6 +59,7 @@ RATIO_FLOORS = {
     "sweep_best_speedup": 5.0,
     "sweep_numeric_speedup": 3.0,
     "phone_batched_speedup": 3.0,
+    "cloud_block_speedup": 2.0,
 }
 
 GATED_METRICS = BASELINE_METRICS + tuple(RATIO_FLOORS)
@@ -68,6 +70,7 @@ CI_NUMERIC_SCALE = 10_000
 CI_PHONE_SCALE = 5_000
 CI_PHONE_FLEET = 256
 CI_SCENARIO_SCALE = 10_000
+CI_CLOUD_SCALE = 12_000
 
 
 def calibration_score(repeats: int = 3) -> float:
@@ -94,6 +97,7 @@ def run_benchmarks() -> dict:
     numeric = measure_numeric_sweep_speedup(CI_NUMERIC_SCALE)
     phone = measure_phone_tier_speedup(CI_PHONE_SCALE, CI_PHONE_FLEET)
     scenario = measure_scenario_ci(CI_SCENARIO_SCALE, n_tenants=CI_TENANTS)
+    cloud = measure_cloud_block_speedup(CI_CLOUD_SCALE)
     return {
         "calibration_ops_per_sec": calibration,
         "kernel": kernel,
@@ -101,6 +105,7 @@ def run_benchmarks() -> dict:
         "numeric_sweep": numeric,
         "phone_sweep": phone,
         "scenario": scenario,
+        "cloud_ingest": cloud,
         "gated": {
             "calibrated_events_legacy": kernel["events_per_sec_legacy"] / calibration,
             "calibrated_events_batched": kernel["events_per_sec_batched"] / calibration,
@@ -110,6 +115,7 @@ def run_benchmarks() -> dict:
             "sweep_best_speedup": sweep["best_speedup"],
             "sweep_numeric_speedup": numeric["batched_speedup"],
             "phone_batched_speedup": phone["batched_speedup"],
+            "cloud_block_speedup": cloud["block_speedup"],
         },
     }
 
@@ -154,7 +160,7 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"Running CI benchmarks (events={CI_EVENT_SCALE}, sweep={CI_SWEEP_SCALE}, "
         f"numeric={CI_NUMERIC_SCALE}, phone={CI_PHONE_SCALE}, "
-        f"scenario={CI_SCENARIO_SCALE}x{CI_TENANTS}t) ..."
+        f"scenario={CI_SCENARIO_SCALE}x{CI_TENANTS}t, cloud={CI_CLOUD_SCALE}) ..."
     )
     results = run_benchmarks()
     args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
@@ -175,6 +181,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not results["scenario"]["identical"]:
         print("FAIL: batched scenario replay changed the simulated report")
+        return 1
+    if not results["cloud_ingest"]["identical"]:
+        print("FAIL: columnar cloud ingestion changed the simulated cloud state")
         return 1
 
     if args.update_baseline:

@@ -17,17 +17,22 @@ from repro.cloud.aggregation import (
 )
 from repro.cloud.database import MetricsDatabase
 from repro.cloud.monitor import Monitor, MonitorEvent
+from repro.cloud.sink import CallbackSink, CloudIngestSink, OutcomeSink, coerce_sink
 from repro.cloud.storage import ObjectStorage, StoredObject
 
 __all__ = [
     "AggregationRecord",
     "AggregationService",
     "AggregationTrigger",
+    "CallbackSink",
+    "CloudIngestSink",
     "MetricsDatabase",
     "Monitor",
     "MonitorEvent",
     "ObjectStorage",
+    "OutcomeSink",
     "SampleThresholdTrigger",
     "ScheduledTrigger",
     "StoredObject",
+    "coerce_sink",
 ]

@@ -19,8 +19,8 @@ import numpy as np
 from repro.cloud.database import MetricsDatabase
 from repro.cloud.storage import ObjectStorage
 from repro.data.avazu import DeviceDataset
-from repro.deviceflow.messages import Message
-from repro.ml.fedavg import FedAvgAggregator, ModelUpdate
+from repro.deviceflow.messages import Message, MessageBlock
+from repro.ml.fedavg import FedAvgAggregator, FedAvgPartial, ModelUpdate
 from repro.ml.model import LogisticRegressionModel
 from repro.simkernel import Simulator
 
@@ -109,6 +109,27 @@ class ScheduledTrigger(AggregationTrigger):
 class AggregationService:
     """Receives update messages, folds them with FedAvg, tracks metrics.
 
+    Ingestion surface
+    -----------------
+    Exactly three entry points buffer work, and everything else (the
+    triggers, :meth:`aggregate_now`, the counters) is downstream of them:
+
+    * :meth:`receive_message` — the scalar DeviceFlow endpoint: one
+      :class:`~repro.deviceflow.messages.Message`, payload fetched from
+      storage.
+    * :meth:`receive_block` — the columnar endpoint: one
+      :class:`~repro.deviceflow.messages.MessageBlock` folds a whole
+      round via the exact :class:`~repro.ml.fedavg.FedAvgPartial`
+      primitive (bit-identical to the equivalent scalar stream, in any
+      mix, by FedAvg partition invariance).
+    * :meth:`receive_update` — direct scalar ingestion bypassing
+      DeviceFlow and storage (experiment harnesses).
+
+    Triggers observe the buffer only through ``pending_updates`` /
+    ``pending_samples`` and fold it only through :meth:`aggregate_now`;
+    note a block is buffered atomically, so a threshold trigger fires at
+    block rather than message granularity on the columnar path.
+
     Parameters
     ----------
     sim:
@@ -143,6 +164,7 @@ class AggregationService:
         sim: Simulator,
         storage: ObjectStorage,
         trigger: AggregationTrigger,
+        *,
         model: LogisticRegressionModel | None = None,
         test_set: DeviceDataset | None = None,
         train_eval_shards: dict[str, DeviceDataset] | None = None,
@@ -168,14 +190,20 @@ class AggregationService:
         self.receive_log: list[tuple[float, int]] = []
         self._pending_sample_count = 0
         self._contributors: list[str] = []
+        #: Block-path buffer: one exact partial per received block, merged
+        #: with the scalar aggregator's own partial at fold time.
+        self._partials: list[FedAvgPartial] = []
+        self._partial_updates = 0
         self._round = 0
         self._started = False
 
     # ------------------------------------------------------------------
     @property
     def pending_updates(self) -> int:
-        """Updates buffered since the last aggregation."""
-        return len(self.aggregator) if self.model is not None else len(self._contributors)
+        """Updates buffered since the last aggregation (scalar + block)."""
+        if self.model is not None:
+            return len(self.aggregator) + self._partial_updates
+        return len(self._contributors)
 
     @property
     def pending_samples(self) -> int:
@@ -218,6 +246,38 @@ class AggregationService:
         self._pending_sample_count += message.n_samples
         self.trigger.on_update(self)
 
+    def receive_block(self, block: MessageBlock) -> None:
+        """Columnar endpoint: buffer a whole round's updates in one fold.
+
+        Counters advance in bulk (one ``receive_log`` entry of the
+        block's size), and numeric payloads fold through
+        :meth:`FedAvgPartial.from_arrays` — the exact primitive, so the
+        global model after :meth:`aggregate_now` is bit-identical to the
+        same updates streamed through :meth:`receive_message`, in any
+        scalar/block mix.  Empty blocks are ignored.
+        """
+        n = len(block)
+        if n == 0:
+            return
+        self.messages_received += n
+        self.bytes_received += block.total_bytes
+        self.receive_log.append((self.sim.now, n))
+        if self.model is not None:
+            if block.update_weights is None or block.update_biases is None:
+                raise TypeError(
+                    f"block for task {block.task_id!r} carries no stacked update "
+                    "arrays but the service aggregates a model"
+                )
+            self._partials.append(
+                FedAvgPartial.from_arrays(
+                    block.update_weights, block.update_biases, block.n_samples
+                )
+            )
+            self._partial_updates += n
+        self._contributors.extend(block.device_ids)
+        self._pending_sample_count += block.total_samples
+        self.trigger.on_update(self)
+
     def receive_update(self, update: ModelUpdate) -> None:
         """Direct ingestion path (bypassing DeviceFlow and storage)."""
         self.messages_received += 1
@@ -245,7 +305,15 @@ class AggregationService:
             n_samples=n_samples,
         )
         if self.model is not None:
-            weights, bias, _ = self.aggregator.aggregate()
+            if self._partials:
+                parts = list(self._partials)
+                if len(self.aggregator):
+                    parts.insert(0, self.aggregator.partial())
+                self._partials = []
+                self._partial_updates = 0
+                weights, bias, _ = FedAvgAggregator.merge(parts)
+            else:
+                weights, bias, _ = self.aggregator.aggregate()
             self.model.set_params(weights, bias)
             self._evaluate(record, contributors)
             if self.on_global_model is not None:

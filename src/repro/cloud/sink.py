@@ -1,0 +1,242 @@
+"""Outcome sinks: the cloud-side ingestion surface of the compute tiers.
+
+PRs 1-5 batched the kernel, the tiers and the numeric math, which moved
+the profiled bottleneck onto per-outcome cloud-side Python: one
+``ObjectStorage.put``, one :class:`~repro.deviceflow.messages.Message`
+and one aggregation fold per simulated device.  SimDC's own cloud design
+treats aggregation as buffer-and-fold over whole rounds (§VI-C), so the
+delivery API mirrors that: an :class:`OutcomeSink` receives either one
+outcome at a time (``accept``) or a whole wave as a columnar block
+(``accept_block``), and :class:`CloudIngestSink` implements the full
+cloud path — storage, messaging, aggregation — for both granularities
+with byte-identical simulated results.
+
+Scalar → block method map (see README, "Cloud tier"):
+
+========================  ==============================
+per-device (scalar)       per-round (columnar block)
+========================  ==============================
+``sink.accept``           ``sink.accept_block``
+``storage.put``           ``storage.put_block``
+``Message``               ``MessageBlock``
+``deviceflow.submit``     ``deviceflow.submit_block``
+``service.receive_message``  ``service.receive_block``
+``db.insert``             ``db.insert_many``
+========================  ==============================
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.cloud.aggregation import AggregationService
+from repro.cloud.storage import ObjectStorage
+from repro.deviceflow.controller import DeviceFlow
+from repro.deviceflow.messages import Message, MessageBlock
+from repro.simkernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Imported lazily: cluster.runner imports this module for coerce_sink,
+    # so a runtime import here would be circular.
+    from repro.cluster.actor import DeviceRoundOutcome
+    from repro.cluster.runner import ColumnarOutcomes
+
+
+@runtime_checkable
+class OutcomeSink(Protocol):
+    """Receives device-round results from the execution tiers.
+
+    The tiers deliver through exactly one of two granularities:
+
+    * :meth:`accept` — one :class:`DeviceRoundOutcome` at a time, fired
+      *as each device completes* (the generator path, benchmark phones,
+      and any batched plan whose sink asks for streaming).
+    * :meth:`accept_block` — one :class:`ColumnarOutcomes` block per
+      batched plan, fired once at the block's last completion time.
+
+    The optional class/instance attribute ``prefers_blocks`` (default
+    ``True`` when absent) tells a tier which granularity to use for
+    plans that support both; sinks that need per-device delivery (e.g.
+    anything feeding DeviceFlow mid-round) set it to ``False``.
+    """
+
+    def accept(self, outcome: DeviceRoundOutcome) -> None:
+        """Ingest one device's round result."""
+        ...  # pragma: no cover - protocol
+
+    def accept_block(self, block: ColumnarOutcomes) -> None:
+        """Ingest a whole batched plan's round as one columnar block."""
+        ...  # pragma: no cover - protocol
+
+
+class CallbackSink:
+    """Adapter wrapping a bare ``Callable[[DeviceRoundOutcome], None]``.
+
+    This is the compatibility shim behind the deprecated ``on_outcome``
+    callable parameter of the tiers' ``run_round``: callbacks observe
+    devices one at a time, so the sink requests streaming delivery and
+    materializes any block it is handed.
+    """
+
+    prefers_blocks = False
+
+    def __init__(self, callback: Callable[[DeviceRoundOutcome], None]) -> None:
+        if not callable(callback):
+            raise TypeError(f"callback must be callable, got {type(callback).__name__}")
+        self.callback = callback
+
+    def accept(self, outcome: DeviceRoundOutcome) -> None:
+        self.callback(outcome)
+
+    def accept_block(self, block: ColumnarOutcomes) -> None:
+        for outcome in block.materialize():
+            self.callback(outcome)
+
+
+def coerce_sink(sink: OutcomeSink | Callable[[DeviceRoundOutcome], None] | None) -> OutcomeSink | None:
+    """Normalize a ``run_round`` sink argument to an :class:`OutcomeSink`.
+
+    ``None`` passes through (the tiers then record columnar blocks with
+    no delivery at all).  A bare callable is deprecated: it is wrapped in
+    a :class:`CallbackSink` with a :class:`DeprecationWarning`.
+    """
+    if sink is None:
+        return None
+    if isinstance(sink, OutcomeSink):
+        return sink
+    if callable(sink):
+        warnings.warn(
+            "passing a bare callable as on_outcome is deprecated; wrap it in "
+            "repro.cloud.CallbackSink (or implement the OutcomeSink protocol)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return CallbackSink(sink)
+    raise TypeError(
+        f"sink must implement OutcomeSink (accept/accept_block) or be a "
+        f"callable, got {type(sink).__name__}"
+    )
+
+
+class _BlockUpdateView:
+    """Lazy per-device view of a block's stacked model updates.
+
+    ``ObjectStorage.put_block`` stores the whole sequence behind one
+    shared handle; a :class:`~repro.ml.fedavg.ModelUpdate` object is only
+    built if someone actually ``get``\\ s that device's key — the batched
+    aggregation path never does, it folds the stacked arrays directly.
+    """
+
+    __slots__ = ("_block",)
+
+    def __init__(self, block: ColumnarOutcomes) -> None:
+        self._block = block
+
+    def __len__(self) -> int:
+        return len(self._block)
+
+    def __getitem__(self, position: int):
+        return self._block.update_at(position)
+
+
+class CloudIngestSink:
+    """The production sink: storage + DeviceFlow/aggregation ingestion.
+
+    Scalar delivery (:meth:`accept`) reproduces the legacy per-outcome
+    hot loop exactly: one storage put (numeric runs), one
+    :class:`Message`, then either a DeviceFlow submission or a direct
+    ``service.receive_message``.  Block delivery (:meth:`accept_block`)
+    performs the same ingestion wholesale: one ``storage.put_block``
+    stamped with the block's per-device completion times, one
+    :class:`MessageBlock`, one ``service.receive_block`` fold — with the
+    global model bit-identical to the scalar path by FedAvg partition
+    invariance.
+
+    Parameters
+    ----------
+    sim / task_id / storage / service:
+        Cloud plumbing and the owning task.
+    deviceflow:
+        When set, scalar outcomes are submitted to DeviceFlow instead of
+        delivered directly; traffic shaping samples per-device arrival
+        times mid-round, so a flow-connected sink always requests
+        streaming delivery (``prefers_blocks`` is forced ``False``).
+    prefer_blocks:
+        Ask batched plans for whole-round blocks (the default when no
+        DeviceFlow is attached).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        task_id: str,
+        storage: ObjectStorage,
+        service: AggregationService,
+        deviceflow: DeviceFlow | None = None,
+        prefer_blocks: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.task_id = task_id
+        self.storage = storage
+        self.service = service
+        self.deviceflow = deviceflow
+        self.prefers_blocks = bool(prefer_blocks) and deviceflow is None
+
+    # ------------------------------------------------------------------
+    def accept(self, outcome: DeviceRoundOutcome) -> None:
+        """Per-device ingestion (the legacy ``_handle_outcome`` semantics)."""
+        ref = f"{self.task_id}/{outcome.device_id}/r{outcome.round_index}"
+        if outcome.update is not None:
+            self.storage.put(
+                ref, outcome.update, outcome.payload_bytes, now=self.sim.now,
+                writer=outcome.device_id,
+            )
+        message = Message(
+            task_id=self.task_id,
+            device_id=outcome.device_id,
+            round_index=outcome.round_index,
+            payload_ref=ref,
+            size_bytes=outcome.payload_bytes,
+            n_samples=outcome.n_samples,
+            metadata={"grade": outcome.grade},
+        )
+        if self.deviceflow is not None:
+            self.deviceflow.submit(message)
+        else:
+            self.service.receive_message(message)
+
+    def accept_block(self, block: ColumnarOutcomes) -> None:
+        """Whole-round ingestion: one put, one message block, one fold."""
+        n = len(block)
+        if n == 0:
+            return
+        round_index = block.round_index
+        device_ids = [a.device_id for a in block.plan.assignments]
+        refs = [f"{self.task_id}/{d}/r{round_index}" for d in device_ids]
+        has_updates = block.update_weights is not None and block.update_biases is not None
+        if has_updates:
+            self.storage.put_block(
+                refs,
+                _BlockUpdateView(block),
+                block.payload_bytes,
+                now=block.finished_at,
+                writers=device_ids,
+            )
+        message_block = MessageBlock(
+            task_id=self.task_id,
+            round_index=round_index,
+            device_ids=device_ids,
+            payload_refs=refs,
+            size_bytes=block.payload_bytes,
+            n_samples=block.n_samples_array(),
+            finished_at=block.finished_at,
+            metadata={"grade": block.plan.grade},
+            update_weights=block.update_weights if has_updates else None,
+            update_biases=block.update_biases if has_updates else None,
+        )
+        if self.deviceflow is not None:
+            self.deviceflow.submit_block(message_block)
+        else:
+            self.service.receive_block(message_block)

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Sequence
 from typing import Any
+
+import numpy as np
 
 
 @dataclass
@@ -17,6 +20,37 @@ class StoredObject:
     writer: str = ""
 
 
+class _StoredBlock:
+    """Shared metadata of one ``put_block`` call (one object per block)."""
+
+    __slots__ = ("values", "sizes", "times", "writers")
+
+    def __init__(
+        self,
+        values: Sequence[Any],
+        sizes: np.ndarray,
+        times: np.ndarray,
+        writers: Sequence[str] | str,
+    ) -> None:
+        self.values = values
+        self.sizes = sizes
+        self.times = times
+        self.writers = writers
+
+    def writer_at(self, position: int) -> str:
+        return self.writers if isinstance(self.writers, str) else self.writers[position]
+
+
+class _BlockSlot:
+    """One key's two-field handle into a shared :class:`_StoredBlock`."""
+
+    __slots__ = ("block", "position")
+
+    def __init__(self, block: _StoredBlock, position: int) -> None:
+        self.block = block
+        self.position = position
+
+
 class ObjectStorage:
     """A keyed blob store with transfer-time accounting.
 
@@ -25,6 +59,12 @@ class ObjectStorage:
     transfer costs charged by the tiers that move the data.  The store
     itself is instantaneous — durability and placement are out of the
     paper's scope.
+
+    Two write granularities share the same keyspace and counters:
+    :meth:`put` stores one payload, :meth:`put_block` stores a whole
+    columnar round (one dict update, vectorized byte accounting) with
+    per-key reads, heads and deletes indistinguishable from ``n``
+    scalar puts.
     """
 
     def __init__(self, bandwidth_bps: float = 1e9, latency_s: float = 0.01) -> None:
@@ -34,7 +74,7 @@ class ObjectStorage:
             raise ValueError("latency_s must be >= 0")
         self.bandwidth_bps = float(bandwidth_bps)
         self.latency_s = float(latency_s)
-        self._objects: dict[str, StoredObject] = {}
+        self._objects: dict[str, StoredObject | _BlockSlot] = {}
         self.total_bytes_written = 0
         self.total_bytes_read = 0
         self.put_count = 0
@@ -46,8 +86,13 @@ class ObjectStorage:
     def __contains__(self, key: str) -> bool:
         return key in self._objects
 
-    def put(self, key: str, value: Any, size_bytes: int, now: float = 0.0, writer: str = "") -> StoredObject:
-        """Store (or overwrite) a payload under ``key``."""
+    def put(self, key: str, value: Any, size_bytes: int, *, now: float = 0.0, writer: str = "") -> StoredObject:
+        """Store (or overwrite) a payload under ``key``.
+
+        ``now`` and ``writer`` are record-shaping metadata and therefore
+        keyword-only — a positional float after ``size_bytes`` was too
+        easy to misread as another size.
+        """
         if size_bytes < 0:
             raise ValueError("size_bytes must be >= 0")
         record = StoredObject(key=key, value=value, size_bytes=int(size_bytes), stored_at=now, writer=writer)
@@ -56,20 +101,73 @@ class ObjectStorage:
         self.put_count += 1
         return record
 
+    def put_block(
+        self,
+        keys: Sequence[str],
+        values: Sequence[Any],
+        size_bytes: int | np.ndarray,
+        *,
+        now: float | np.ndarray = 0.0,
+        writers: Sequence[str] | str = "",
+    ) -> int:
+        """Store a whole block of payloads in one call; returns the count.
+
+        Accounting is equivalent to ``n`` scalar :meth:`put` calls
+        (``put_count += n``, ``total_bytes_written += sum(sizes)``), but
+        the store performs ONE dict update and allocates one shared
+        metadata object plus a two-field slot per key — no per-key
+        :class:`StoredObject` until someone reads it.  ``size_bytes``,
+        ``now`` and ``writers`` each accept either one broadcast value or
+        a per-key sequence; ``values`` may be any lazy sequence (indexed
+        only on :meth:`get`/:meth:`head`).
+        """
+        n = len(keys)
+        if len(values) != n:
+            raise ValueError(f"got {n} keys but {len(values)} values")
+        if not isinstance(writers, str) and len(writers) != n:
+            raise ValueError(f"got {n} keys but {len(writers)} writers")
+        if n == 0:
+            return 0
+        sizes = np.broadcast_to(np.asarray(size_bytes, dtype=np.int64), (n,))
+        if sizes.min() < 0:
+            raise ValueError("size_bytes must be >= 0")
+        times = np.broadcast_to(np.asarray(now, dtype=np.float64), (n,))
+        block = _StoredBlock(values, sizes, times, writers)
+        self._objects.update(
+            (key, _BlockSlot(block, position)) for position, key in enumerate(keys)
+        )
+        self.total_bytes_written += int(sizes.sum())
+        self.put_count += n
+        return n
+
     def get(self, key: str) -> Any:
         """Fetch a payload; raises ``KeyError`` if absent."""
-        if key not in self._objects:
+        record = self._objects.get(key)
+        if record is None:
             raise KeyError(f"no object stored under {key!r}")
-        record = self._objects[key]
+        if type(record) is _BlockSlot:
+            self.total_bytes_read += int(record.block.sizes[record.position])
+            self.get_count += 1
+            return record.block.values[record.position]
         self.total_bytes_read += record.size_bytes
         self.get_count += 1
         return record.value
 
     def head(self, key: str) -> StoredObject:
         """Metadata of a stored object without a read charge."""
-        if key not in self._objects:
+        record = self._objects.get(key)
+        if record is None:
             raise KeyError(f"no object stored under {key!r}")
-        return self._objects[key]
+        if type(record) is _BlockSlot:
+            block, position = record.block, record.position
+            return StoredObject(
+                key=key,
+                value=block.values[position],
+                size_bytes=int(block.sizes[position]),
+                stored_at=float(block.times[position]),
+                writer=block.writer_at(position),
+            )
+        return record
 
     def delete(self, key: str) -> None:
         """Remove a payload."""

@@ -14,6 +14,7 @@ from collections.abc import Callable, Generator
 
 import numpy as np
 
+from repro.cloud.sink import OutcomeSink, coerce_sink
 from repro.cluster.actor import DeviceAssignment, DeviceRoundOutcome, SimActor
 from repro.cluster.cluster import K8sCluster
 from repro.cluster.cost import LogicalCostModel
@@ -134,7 +135,13 @@ class ColumnarOutcomes:
         """Per-device FedAvg sample counts, in block (assignment) order."""
         return np.array([a.n_samples for a in self.plan.assignments], dtype=np.int64)
 
-    def _update_at(self, position: int) -> ModelUpdate | None:
+    def update_at(self, position: int) -> ModelUpdate | None:
+        """Materialize one device's :class:`ModelUpdate` (``None`` if time-only).
+
+        This is what lazy block-storage views call when a single stored
+        payload is actually read — the block path never builds the other
+        ``n - 1`` objects.
+        """
         if self.update_weights is None or self.update_biases is None:
             return None
         return package_update(
@@ -160,7 +167,7 @@ class ColumnarOutcomes:
                 round_index=self.round_index,
                 n_samples=assignment.n_samples,
                 payload_bytes=self.payload_bytes,
-                update=self._update_at(position),
+                update=self.update_at(position),
                 finished_at=float(time),
             )
             for position, (assignment, time) in enumerate(
@@ -347,26 +354,40 @@ class LogicalSimulation:
         global_weights: np.ndarray | None,
         global_bias: float,
         model_bytes: int,
-        on_outcome: Callable[[DeviceRoundOutcome], None] | None = None,
+        sink: OutcomeSink | Callable[[DeviceRoundOutcome], None] | None = None,
     ) -> Generator:
         """Execute one round across every grade's actors; barrier at end.
 
-        ``on_outcome`` fires per device *as results complete*, which is
-        what feeds DeviceFlow mid-round; the returned process resolves with
-        a :class:`RoundResult` once every device has finished.  Pass
-        ``on_outcome=None`` when nothing consumes per-device results
-        mid-round: time-only plans then record one columnar block per plan
-        instead of constructing per-device outcome objects, which is what
-        makes the 100k-device sweeps cheap.
+        ``sink`` receives results through the
+        :class:`~repro.cloud.sink.OutcomeSink` protocol.  Delivery
+        granularity follows the sink's ``prefers_blocks`` attribute:
+
+        * block-preferring sinks (the default, e.g.
+          :class:`~repro.cloud.sink.CloudIngestSink` without DeviceFlow)
+          get one ``accept_block`` per batched plan at its last
+          completion time; generator-path plans still stream ``accept``
+          per device.
+        * streaming sinks (``prefers_blocks = False``, e.g.
+          :class:`~repro.cloud.sink.CallbackSink`) get ``accept`` per
+          device *as results complete* — what feeds DeviceFlow mid-round.
+        * ``sink=None`` records columnar blocks with no delivery at all
+          (the 100k-device sweeps: no per-device objects or events).
+
+        The returned process resolves with a :class:`RoundResult` once
+        every device has finished.  Passing a bare callable is deprecated
+        (it is wrapped in a streaming :class:`CallbackSink` with a
+        ``DeprecationWarning``).
         """
         if self.placement_group is None and self.plans:
             raise RuntimeError("call prepare() before run_round()")
+        sink = coerce_sink(sink)
+        stream = sink is not None and not getattr(sink, "prefers_blocks", True)
         result = RoundResult(round_index=round_index, started_at=self.sim.now)
 
         def collect(outcome: DeviceRoundOutcome) -> None:
             result.outcomes.append(outcome)
-            if on_outcome is not None:
-                on_outcome(outcome)
+            if sink is not None:
+                sink.accept(outcome)
 
         actor_processes = []
         batched_plans: list[GradeExecutionPlan] = []
@@ -416,7 +437,8 @@ class LogicalSimulation:
                     global_bias,
                     model_bytes,
                     result,
-                    collect if on_outcome is not None else None,
+                    collect if stream else None,
+                    None if stream else sink,
                     plan_done,
                 )
             barriers.append(batched_done)
@@ -499,6 +521,7 @@ class LogicalSimulation:
         model_bytes: int,
         result: RoundResult,
         collect: Callable[[DeviceRoundOutcome], None] | None,
+        block_sink: OutcomeSink | None,
         plan_done: Callable[[], None],
     ) -> None:
         """Register one batched plan's whole round in the timeout pool.
@@ -523,7 +546,9 @@ class LogicalSimulation:
         entire plan becomes a single pooled deadline at its last completion
         time plus a columnar block — no per-device objects, no per-device
         events, and (in sharded workers) no per-device Python at all beyond
-        the vectorized wave math.
+        the vectorized wave math.  A ``block_sink`` receives that block via
+        ``accept_block`` the moment it is recorded (the cloud ingests the
+        whole round in one fold).
         """
         total = len(plan.assignments)
         if total == 0:
@@ -563,17 +588,18 @@ class LogicalSimulation:
 
         if collect is None:
             def fire_all() -> None:
-                result.columnar.append(
-                    ColumnarOutcomes(
-                        plan=plan,
-                        round_index=round_index,
-                        payload_bytes=upload_bytes,
-                        finished_at=merged,
-                        update_weights=update_weights,
-                        update_biases=update_biases,
-                    )
+                block = ColumnarOutcomes(
+                    plan=plan,
+                    round_index=round_index,
+                    payload_bytes=upload_bytes,
+                    finished_at=merged,
+                    update_weights=update_weights,
+                    update_biases=update_biases,
                 )
+                result.columnar.append(block)
                 count_completions()
+                if block_sink is not None:
+                    block_sink.accept_block(block)
                 plan_done()
 
             self._pool.add_at(float(merged[-1]), fire_all)

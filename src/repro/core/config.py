@@ -44,6 +44,12 @@ class PlatformConfig:
         Drive both execution tiers through their wave-scheduled fast
         paths (default).  ``False`` restores the per-device generator
         processes — bit-identical simulated results, much slower.
+    cloud_blocks:
+        Ingest each batched plan's round into the cloud tier as one
+        columnar block (``put_block`` / ``receive_block``) instead of a
+        per-device put + message + fold.  ``None`` (default) follows
+        ``batch``.  Flow tasks always stream per-device regardless;
+        reports are byte-identical either way.
     """
 
     seed: int = 0
@@ -63,6 +69,7 @@ class PlatformConfig:
     poll_interval: float = 1.0
     scheduling_interval: float = 5.0
     batch: bool = True
+    cloud_blocks: bool | None = None
 
     def __post_init__(self) -> None:
         if not self.cluster_nodes:

@@ -207,4 +207,5 @@ class SimDC:
             dataset=options.get("dataset"),
             unit_bundle=self.config.unit_bundle,
             batch=self.config.batch,
+            cloud_blocks=self.config.cloud_blocks,
         )

@@ -92,6 +92,15 @@ class Dispatcher:
         """A message just landed on the shelf."""
         self.strategy.on_message(self)
 
+    def on_block(self, count: int) -> None:
+        """A whole block of ``count`` messages just landed on the shelf.
+
+        Strategies are notified once per block rather than once per
+        message — block arrival is atomic, so accumulation-style
+        strategies observe the post-block shelf state directly.
+        """
+        self.strategy.on_message(self)
+
     def round_started(self, round_index: int) -> None:
         """The task opened a new collaboration round."""
         self.current_round = round_index

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from collections.abc import Sequence
 from typing import Any
+
+import numpy as np
 
 _message_counter = itertools.count()
 
@@ -58,3 +61,125 @@ class Message:
             raise ValueError("size_bytes must be >= 0")
         if self.n_samples <= 0:
             raise ValueError("n_samples must be positive")
+
+
+@dataclass
+class MessageBlock:
+    """A whole round's notifications as one struct-of-arrays block.
+
+    The columnar counterpart of :class:`Message`: one block carries every
+    device of a batched plan's round, so DeviceFlow and the cloud
+    services account for the traffic in bulk (one counter bump, one
+    FedAvg fold) while still being able to shelve and deliver per-device
+    via :meth:`messages`.
+
+    A scalar :class:`Message` carries only a *reference* into shared
+    storage; the block variant additionally inlines the stacked update
+    arrays (``update_weights`` / ``update_biases``) when the producing
+    plan was numeric — eliding per-device storage round-trips is exactly
+    the point of block ingestion, and the referenced payloads remain
+    stored (one ``put_block``) for any consumer that wants them.
+
+    Attributes
+    ----------
+    task_id / round_index:
+        Owning task and collaboration round (one block never spans
+        rounds — batched plans emit per round).
+    device_ids:
+        Producing devices, in block (assignment) order.
+    payload_refs:
+        Per-device keys into shared object storage, aligned with
+        ``device_ids``.
+    size_bytes:
+        Per-device payload size (blocks are grade-homogeneous, so one
+        number covers every device).
+    n_samples:
+        Per-device training-sample counts (``(n,)`` int array).
+    finished_at:
+        Per-device completion times; :meth:`messages` stamps these as the
+        materialized messages' ``created_at`` when no explicit arrival
+        time is given.
+    created_at:
+        Simulated time the block entered DeviceFlow (stamped by
+        ``DeviceFlow.submit_block``).
+    metadata:
+        Free-form extras shared by every device (grade, tier, ...).
+    update_weights / update_biases:
+        Optional stacked model updates (``(n, dim)`` / ``(n,)``) for
+        numeric rounds; ``None`` for time-only traffic.
+    """
+
+    task_id: str
+    round_index: int
+    device_ids: Sequence[str]
+    payload_refs: Sequence[str]
+    size_bytes: int = 0
+    n_samples: np.ndarray | None = None
+    finished_at: np.ndarray | None = None
+    created_at: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+    update_weights: np.ndarray | None = None
+    update_biases: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ValueError("task_id must be non-empty")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        n = len(self.device_ids)
+        if len(self.payload_refs) != n:
+            raise ValueError(f"got {n} device_ids but {len(self.payload_refs)} payload_refs")
+        if self.n_samples is None:
+            self.n_samples = np.ones(n, dtype=np.int64)
+        else:
+            self.n_samples = np.asarray(self.n_samples, dtype=np.int64)
+            if len(self.n_samples) != n:
+                raise ValueError(f"got {n} device_ids but {len(self.n_samples)} n_samples")
+            if n and self.n_samples.min() <= 0:
+                raise ValueError("n_samples must be positive")
+        if self.finished_at is not None and len(self.finished_at) != n:
+            raise ValueError(f"got {n} device_ids but {len(self.finished_at)} finished_at")
+        if self.update_weights is not None and len(self.update_weights) != n:
+            raise ValueError(f"got {n} device_ids but {len(self.update_weights)} update rows")
+        if self.update_biases is not None and len(self.update_biases) != n:
+            raise ValueError(f"got {n} device_ids but {len(self.update_biases)} update biases")
+
+    def __len__(self) -> int:
+        return len(self.device_ids)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes represented by the whole block (bulk accounting)."""
+        return self.size_bytes * len(self.device_ids)
+
+    @property
+    def total_samples(self) -> int:
+        """Training samples represented by the whole block."""
+        return int(self.n_samples.sum()) if len(self.device_ids) else 0
+
+    def messages(self, created_at: float | None = None) -> list[Message]:
+        """Materialize per-device :class:`Message` objects, in block order.
+
+        ``created_at`` overrides every message's arrival stamp (DeviceFlow
+        passes the submission time); otherwise each message inherits its
+        device's ``finished_at`` (falling back to the block's own
+        ``created_at``).
+        """
+        times = self.finished_at
+        return [
+            Message(
+                task_id=self.task_id,
+                device_id=device_id,
+                round_index=self.round_index,
+                payload_ref=self.payload_refs[position],
+                size_bytes=self.size_bytes,
+                created_at=(
+                    created_at
+                    if created_at is not None
+                    else (float(times[position]) if times is not None else self.created_at)
+                ),
+                n_samples=int(self.n_samples[position]),
+                metadata=dict(self.metadata),
+            )
+            for position, device_id in enumerate(self.device_ids)
+        ]

@@ -35,6 +35,16 @@ class Shelf:
         self._messages.append(message)
         self.total_stored += 1
 
+    def store_block(self, messages: list[Message]) -> None:
+        """Append a whole block's messages: one task check, one extend."""
+        for message in messages:
+            if message.task_id != self.task_id:
+                raise ValueError(
+                    f"message for task {message.task_id!r} stored on shelf {self.task_id!r}"
+                )
+        self._messages.extend(messages)
+        self.total_stored += len(messages)
+
     def take(self, count: int) -> list[Message]:
         """Remove and return up to ``count`` oldest messages."""
         if count < 0:

@@ -48,6 +48,21 @@ class Sorter:
             self._on_stored(message)
         return shelf
 
+    def route_block(self, task_id: str, messages: list[Message]) -> Shelf:
+        """Shelve a whole block's messages with bulk bookkeeping.
+
+        One shelf lookup and one counter bump per block; the per-message
+        ``on_stored`` hook still fires for each message so observers see
+        the same stream either way.
+        """
+        shelf = self.shelf_for(task_id)
+        shelf.store_block(messages)
+        self.total_routed += len(messages)
+        if self._on_stored is not None:
+            for message in messages:
+                self._on_stored(message)
+        return shelf
+
     @property
     def task_ids(self) -> list[str]:
         """Registered task ids, sorted."""

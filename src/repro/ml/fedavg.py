@@ -139,16 +139,31 @@ class _ExactVectorSum:
         padded = np.zeros((steps * lanes, rows.shape[1]), dtype=np.float64)
         padded[:n_rows] = rows
         stacked = padded.reshape(steps, lanes, rows.shape[1])
-        lane_components: list[np.ndarray] = []
-        for step in range(steps):
-            carry = stacked[step]
+
+        def fold(batch: np.ndarray, components: list[np.ndarray]) -> list[np.ndarray]:
+            carry = batch
             survivors = []
-            for component in lane_components:
+            for component in components:
                 carry, err = _two_sum(carry, component)
                 if np.any(err):
                     survivors.append(err)
             survivors.append(carry)
-            lane_components = survivors
+            return survivors
+
+        lane_components: list[np.ndarray] = []
+        for step in range(steps):
+            lane_components = fold(stacked[step], lane_components)
+            # With dense random signs every TwoSum leaves a nonzero error
+            # somewhere in the (lanes, dim) batch, so without compression
+            # the expansion grows by one component per step (quadratic
+            # TwoSums overall).  Re-folding it into itself preserves the
+            # represented value exactly and collapses it back to a few
+            # near-nonoverlapping components.
+            if len(lane_components) > 8:
+                refolded: list[np.ndarray] = []
+                for component in lane_components:
+                    refolded = fold(component, refolded)
+                lane_components = refolded
         for component in lane_components:
             for lane_row in component:
                 self.add(lane_row)

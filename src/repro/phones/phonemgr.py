@@ -40,6 +40,7 @@ from collections.abc import Callable, Generator
 
 import numpy as np
 
+from repro.cloud.sink import OutcomeSink, coerce_sink
 from repro.cluster.actor import DeviceAssignment, DeviceRoundOutcome
 from repro.cluster.runner import ColumnarOutcomes, RoundResult, package_update
 from repro.ml.backends import DEVICE_BACKEND, NumericBackend
@@ -325,24 +326,32 @@ class PhoneMgr:
         global_weights: np.ndarray | None,
         global_bias: float,
         model_bytes: int,
-        on_outcome: Callable[[DeviceRoundOutcome], None] | None = None,
+        sink: OutcomeSink | Callable[[DeviceRoundOutcome], None] | None = None,
     ) -> Generator:
         """Execute one round on computing + benchmarking phones.
 
-        ``on_outcome`` fires per device as results complete.  With
-        ``on_outcome=None`` under the batched path, each computing plan
-        records one columnar block instead of constructing per-device
-        outcome objects (the logical tier's ``ColumnarOutcomes``), which is
-        what the large phone-tier sweeps exercise.  The returned process
-        resolves with a :class:`~repro.cluster.runner.RoundResult`.
+        ``sink`` follows the :class:`~repro.cloud.sink.OutcomeSink`
+        protocol exactly as on the logical tier: streaming sinks
+        (``prefers_blocks = False``) get ``accept`` per device as results
+        complete, block-preferring sinks get one ``accept_block`` per
+        batched computing plan at its last completion time, and ``None``
+        records columnar blocks with no delivery (the large phone-tier
+        sweeps).  Benchmarking phones always stream ``accept`` — their
+        five-stage protocol emits mid-round regardless of sink kind.
+        The returned process resolves with a
+        :class:`~repro.cluster.runner.RoundResult`.  A bare callable is
+        deprecated (wrapped in a streaming ``CallbackSink`` with a
+        ``DeprecationWarning``).
         """
+        sink = coerce_sink(sink)
+        stream = sink is not None and not getattr(sink, "prefers_blocks", True)
         result = RoundResult(round_index=round_index, started_at=self.sim.now)
         epoch = self._epoch
 
         def collect(outcome: DeviceRoundOutcome) -> None:
             result.outcomes.append(outcome)
-            if on_outcome is not None:
-                on_outcome(outcome)
+            if sink is not None:
+                sink.accept(outcome)
 
         processes = []
         batched_plans: list[PhoneAssignment] = []
@@ -395,7 +404,8 @@ class PhoneMgr:
                     global_bias,
                     model_bytes,
                     result,
-                    collect if on_outcome is not None else None,
+                    collect if stream else None,
+                    None if stream else sink,
                     plan_done,
                 )
             barriers.append(batched_done)
@@ -513,6 +523,7 @@ class PhoneMgr:
         model_bytes: int,
         result: RoundResult,
         collect: Callable[[DeviceRoundOutcome], None] | None,
+        block_sink: OutcomeSink | None,
         plan_done: Callable[[], None],
     ) -> None:
         """Register one plan's whole emulation round in the timeout pool.
@@ -532,7 +543,9 @@ class PhoneMgr:
         phone order, matching the lock-step generator interleave of the
         homogeneous default fleets).  Without one, the entire plan becomes
         a single pooled deadline at its last completion time plus a
-        columnar block — no per-device events or objects at all.
+        columnar block — no per-device events or objects at all; a
+        ``block_sink`` receives that block via ``accept_block`` as it is
+        recorded.
         """
         total = len(plan.assignments)
         if total == 0:
@@ -587,17 +600,18 @@ class PhoneMgr:
             def fire_all() -> None:
                 if epoch != self._epoch:
                     return
-                result.columnar.append(
-                    ColumnarOutcomes(
-                        plan=plan,
-                        round_index=round_index,
-                        payload_bytes=upload_bytes,
-                        finished_at=finished,
-                        update_weights=update_weights,
-                        update_biases=update_biases,
-                    )
+                block = ColumnarOutcomes(
+                    plan=plan,
+                    round_index=round_index,
+                    payload_bytes=upload_bytes,
+                    finished_at=finished,
+                    update_weights=update_weights,
+                    update_biases=update_biases,
                 )
+                result.columnar.append(block)
                 replay_phone_states()
+                if block_sink is not None:
+                    block_sink.accept_block(block)
                 plan_done()
 
             self._pool.add_at(float(finished.max()), fire_all)

@@ -129,11 +129,21 @@ class ScenarioRunner:
     batch:
         Optional override of the spec's execution mode (the differential
         tests run the same spec both ways).
+    cloud_blocks:
+        Optional override of the cloud-tier ingestion granularity (see
+        :class:`~repro.core.config.PlatformConfig`); ``None`` follows
+        ``batch``.
     """
 
-    def __init__(self, spec: ScenarioSpec, batch: bool | None = None) -> None:
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        batch: bool | None = None,
+        cloud_blocks: bool | None = None,
+    ) -> None:
         self.spec = spec
         self.batch = spec.batch if batch is None else bool(batch)
+        self.cloud_blocks = cloud_blocks
         self.platform = self._build_platform()
         self.faults = FaultInjector(self.platform)
         #: tenant name -> [(task_id, submit_time)] ledger for the report.
@@ -151,6 +161,7 @@ class ScenarioRunner:
             local_fleet=local_fleet,
             deviceflow_capacity=spec.deviceflow_capacity,
             batch=self.batch,
+            cloud_blocks=self.cloud_blocks,
         )
         return SimDC(config)
 
@@ -215,6 +226,10 @@ class ScenarioRunner:
         )
 
 
-def run_scenario(spec: ScenarioSpec, batch: bool | None = None) -> ScenarioReport:
+def run_scenario(
+    spec: ScenarioSpec,
+    batch: bool | None = None,
+    cloud_blocks: bool | None = None,
+) -> ScenarioReport:
     """One-call convenience: build, replay, report."""
-    return ScenarioRunner(spec, batch=batch).run()
+    return ScenarioRunner(spec, batch=batch, cloud_blocks=cloud_blocks).run()

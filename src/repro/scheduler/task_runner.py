@@ -23,15 +23,15 @@ from collections.abc import Generator
 from repro.cloud.aggregation import AggregationRecord, AggregationService, AggregationTrigger
 from repro.cloud.database import MetricsDatabase
 from repro.cloud.monitor import Monitor
+from repro.cloud.sink import CloudIngestSink
 from repro.cloud.storage import ObjectStorage
-from repro.cluster.actor import DeviceAssignment, DeviceRoundOutcome
+from repro.cluster.actor import DeviceAssignment
 from repro.cluster.cluster import K8sCluster
 from repro.cluster.cost import LogicalCostModel
 from repro.cluster.resources import ResourceBundle
 from repro.cluster.runner import GradeExecutionPlan, LogicalSimulation
 from repro.data.avazu import FederatedDataset, make_federated_ctr_data
 from repro.deviceflow.controller import DeviceFlow
-from repro.deviceflow.messages import Message
 from repro.ml.backends import DEVICE_BACKEND, SERVER_BACKEND
 from repro.ml.model import LogisticRegressionModel
 from repro.phones.adb import SimulatedAdb
@@ -92,6 +92,14 @@ class TaskRunner:
         Drive both tiers through their wave-scheduled fast paths (the
         default).  ``False`` restores per-device generator processes and
         per-phone samplers — bit-identical simulations either way.
+    cloud_blocks:
+        Ingest batched plans' rounds into the cloud as columnar blocks
+        (one ``put_block`` / ``receive_block`` per plan) instead of one
+        storage put, message and fold per device.  Defaults to following
+        ``batch``.  Tasks routed through DeviceFlow always stream
+        per-device regardless — traffic shaping samples individual
+        arrivals mid-round.  Reports and aggregation records are
+        byte-identical either way (``tests/test_outcome_sink.py``).
     """
 
     def __init__(
@@ -113,6 +121,7 @@ class TaskRunner:
         dataset: FederatedDataset | None = None,
         unit_bundle: ResourceBundle | None = None,
         batch: bool = True,
+        cloud_blocks: bool | None = None,
     ) -> None:
         self.sim = sim
         self.spec = spec
@@ -127,6 +136,7 @@ class TaskRunner:
         self.fixed_allocation = fixed_allocation
         self.unit_bundle = unit_bundle if unit_bundle is not None else ResourceBundle(cpus=1.0, memory_gb=1.0)
         self._provided_dataset = dataset
+        self.cloud_blocks = batch if cloud_blocks is None else bool(cloud_blocks)
         self.logical = LogicalSimulation(sim, cluster, self.logical_cost, self.streams, batch=batch)
         self.phonemgr = PhoneMgr(
             sim,
@@ -339,20 +349,28 @@ class TaskRunner:
         model = self.service.model
         weights, bias = (model.get_params() if model is not None else (None, 0.0))
 
-        def on_outcome(outcome: DeviceRoundOutcome) -> None:
-            self._handle_outcome(outcome, uses_flow)
-
+        # Flow tasks stream per-device (strategies sample individual
+        # arrivals mid-round); direct tasks hand each batched plan's round
+        # to the cloud as one columnar block.
+        sink = CloudIngestSink(
+            self.sim,
+            spec.task_id,
+            self.storage,
+            self.service,
+            deviceflow=self.deviceflow if uses_flow else None,
+            prefer_blocks=self.cloud_blocks,
+        )
         tier_processes = []
         if self.logical.plans:
             tier_processes.append(
                 self.sim.process(
-                    self.logical.run_round(round_index, weights, bias, model_bytes, on_outcome)
+                    self.logical.run_round(round_index, weights, bias, model_bytes, sink)
                 )
             )
         if self.phonemgr.plans:
             tier_processes.append(
                 self.sim.process(
-                    self.phonemgr.run_round(round_index, weights, bias, model_bytes, on_outcome)
+                    self.phonemgr.run_round(round_index, weights, bias, model_bytes, sink)
                 )
             )
         if tier_processes:
@@ -369,28 +387,6 @@ class TaskRunner:
                 n_updates=record.n_updates,
                 test_accuracy=record.test_accuracy,
             )
-
-    def _handle_outcome(self, outcome: DeviceRoundOutcome, uses_flow: bool) -> None:
-        ref = f"{self.spec.task_id}/{outcome.device_id}/r{outcome.round_index}"
-        if outcome.update is not None:
-            self.storage.put(
-                ref, outcome.update, outcome.payload_bytes, now=self.sim.now,
-                writer=outcome.device_id,
-            )
-        message = Message(
-            task_id=self.spec.task_id,
-            device_id=outcome.device_id,
-            round_index=outcome.round_index,
-            payload_ref=ref,
-            size_bytes=outcome.payload_bytes,
-            n_samples=outcome.n_samples,
-            metadata={"grade": outcome.grade},
-        )
-        assert self.service is not None
-        if uses_flow:
-            self.deviceflow.submit(message)
-        else:
-            self.service.receive_message(message)
 
     def _await_deliveries(self) -> Generator:
         """Block until DeviceFlow has delivered or dropped everything.

@@ -133,7 +133,10 @@ class Signal(Waitable):
 class Process(Waitable):
     """A running generator, itself waitable by other processes."""
 
-    __slots__ = ("sim", "name", "_generator", "_done", "_result", "_error", "_waiters", "_interrupted", "_current_resume")
+    __slots__ = (
+        "sim", "name", "_generator", "_done", "_result", "_error",
+        "_waiters", "_interrupted", "_current_resume",
+    )
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = "") -> None:
         self.sim = sim

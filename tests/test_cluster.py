@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.cloud import CallbackSink
 from repro.cluster import (
     DeviceAssignment,
     GradeExecutionPlan,
@@ -256,7 +257,7 @@ class TestLogicalSimulation:
         def run():
             yield sim.process(logical.prepare([plan], task_id="t"))
             result = yield sim.process(
-                logical.run_round(1, None, 0.0, model_bytes=0, on_outcome=outcomes.append)
+                logical.run_round(1, None, 0.0, model_bytes=0, sink=CallbackSink(outcomes.append))
             )
             return result
 
@@ -296,7 +297,7 @@ class TestLogicalSimulation:
             yield sim.process(
                 logical.run_round(
                     1, np.zeros(128), 0.0, model_bytes=1024,
-                    on_outcome=lambda o: updates.append(o.update),
+                    sink=CallbackSink(lambda o: updates.append(o.update)),
                 )
             )
 
@@ -325,7 +326,7 @@ class TestLogicalSimulation:
         logical = LogicalSimulation(sim, K8sCluster([NodeSpec(8, 16)]))
         logical.plans = [build_plan(2, 1)]
         with pytest.raises(RuntimeError):
-            list(logical.run_round(1, None, 0.0, 0, lambda o: None))
+            list(logical.run_round(1, None, 0.0, 0, CallbackSink(lambda o: None)))
 
     def test_partition_round_robin(self):
         assignments = [DeviceAssignment(f"d{i}", "High", 1) for i in range(5)]

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cloud import CallbackSink
 from repro.cluster import (
     DeviceAssignment,
     GradeExecutionPlan,
@@ -41,7 +42,7 @@ def run_unsharded(n_devices: int, batch: bool, with_callback: bool = True):
     def driver():
         yield sim.process(logical.prepare([plan]))
         yield sim.process(
-            logical.run_round(1, None, 0.0, 4096, streamed.append if with_callback else None)
+            logical.run_round(1, None, 0.0, 4096, CallbackSink(streamed.append) if with_callback else None)
         )
 
     sim.process(driver())

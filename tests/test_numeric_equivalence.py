@@ -12,6 +12,7 @@ the fast paths replace the generator path in seeded experiments.
 import numpy as np
 import pytest
 
+from repro.cloud import CallbackSink
 from repro.cluster import (
     DeviceAssignment,
     GradeExecutionPlan,
@@ -78,7 +79,7 @@ def run_unsharded(batch: bool, n_rounds: int = N_ROUNDS, collect: bool = True):
             outcomes = []
             yield sim.process(
                 logical.run_round(
-                    round_index, weights, bias, MODEL_BYTES, outcomes.append if collect else None
+                    round_index, weights, bias, MODEL_BYTES, CallbackSink(outcomes.append) if collect else None
                 )
             )
             round_result = logical.rounds[-1]

@@ -13,6 +13,7 @@ wave schedule rely on is checked for exactly-once coverage.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.cloud import CallbackSink
 from repro.cluster.actor import DeviceAssignment
 from repro.ml import standard_fl_flow
 from repro.phones import (
@@ -55,7 +56,7 @@ def run_benchmark_session(batch: bool, poll: float, window: float, n_bench: int,
     def drive():
         yield sim.process(mgr.prepare([plan], task_id="t"))
         for round_index in range(1, rounds + 1):
-            yield sim.process(mgr.run_round(round_index, None, 0.0, 33000, lambda o: None))
+            yield sim.process(mgr.run_round(round_index, None, 0.0, 33000, CallbackSink(lambda o: None)))
 
     sim.process(drive())
     sim.run(batch=batch)

@@ -14,6 +14,7 @@ rounds, numeric and time-only plans, mixed grades and MSP control latency.
 import numpy as np
 import pytest
 
+from repro.cloud import CallbackSink
 from repro.cluster.actor import DeviceAssignment
 from repro.data import SyntheticAvazu
 from repro.ml import standard_fl_flow
@@ -109,7 +110,7 @@ def run_session(batch: bool, plans, n_phones: int, rounds: int = 2, numeric: boo
         yield sim.process(mgr.prepare(plans, task_id="task"))
         for round_index in range(1, rounds + 1):
             yield sim.process(
-                mgr.run_round(round_index, weights, 0.0, model_bytes, outcomes.append)
+                mgr.run_round(round_index, weights, 0.0, model_bytes, CallbackSink(outcomes.append))
             )
         yield sim.process(mgr.teardown())
 
@@ -290,7 +291,7 @@ class TestAbortMidRound:
 
         def drive():
             yield sim.process(mgr.prepare([plan], task_id="t"))
-            round_proc = sim.process(mgr.run_round(1, None, 0.0, 33000, lambda o: None))
+            round_proc = sim.process(mgr.run_round(1, None, 0.0, 33000, CallbackSink(lambda o: None)))
             yield Timeout(20.0)  # mid-round: first wave done, rest pending
             mgr.abort()
             sessions_at_abort.update(

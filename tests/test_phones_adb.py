@@ -157,9 +157,9 @@ class TestParsers:
 
     def test_parse_net_dev_sums_wlan_only(self):
         raw = (
-            "    lo:     4096      12    0    0    0     0          0         0     4096      12    0    0    0     0       0          0\n"
-            " wlan0:    10000       7    0    0    0     0          0         0     2000       2    0    0    0     0       0          0\n"
-            " wlan1:      500       1    0    0    0     0          0         0      500       1    0    0    0     0       0          0\n"
+            "    lo:     4096      12    0    0    0     0          0         0     4096      12    0    0    0     0       0          0\n"  # noqa: E501
+            " wlan0:    10000       7    0    0    0     0          0         0     2000       2    0    0    0     0       0          0\n"  # noqa: E501
+            " wlan1:      500       1    0    0    0     0          0         0      500       1    0    0    0     0       0          0\n"  # noqa: E501
         )
         rx, tx = parse_net_dev(raw)
         assert rx == 10_500

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.cloud import CallbackSink
 from repro.cluster.actor import DeviceAssignment
 from repro.data import SyntheticAvazu
 from repro.ml import standard_fl_flow
@@ -127,7 +128,7 @@ class TestPrepareReservationLeak:
 
         def run():
             yield sim.process(mgr.prepare([plan]))
-            yield sim.process(mgr.run_round(1, None, 0.0, 0, lambda o: None))
+            yield sim.process(mgr.run_round(1, None, 0.0, 0, CallbackSink(lambda o: None)))
             yield sim.process(mgr.teardown())
 
         sim.process(run())
@@ -151,7 +152,7 @@ class TestRoundExecution:
             # Framework startup (lambda) is paid once in prepare.
             assert prepared - start == pytest.approx(45.0)
             yield sim.process(
-                mgr.run_round(1, None, 0.0, model_bytes=0, on_outcome=outcomes.append)
+                mgr.run_round(1, None, 0.0, model_bytes=0, sink=CallbackSink(outcomes.append))
             )
 
         sim.process(run())
@@ -185,7 +186,7 @@ class TestRoundExecution:
             yield sim.process(
                 mgr.run_round(
                     1, np.zeros(64), 0.0, model_bytes=584,
-                    on_outcome=lambda o: updates.append(o.update),
+                    sink=CallbackSink(lambda o: updates.append(o.update)),
                 )
             )
 
@@ -212,7 +213,7 @@ class TestRoundExecution:
 
         def run():
             yield sim.process(mgr.prepare([plan]))
-            yield sim.process(mgr.run_round(1, None, 0.0, 0, lambda o: None))
+            yield sim.process(mgr.run_round(1, None, 0.0, 0, CallbackSink(lambda o: None)))
             yield sim.process(mgr.teardown())
 
         sim.process(run())
@@ -233,7 +234,7 @@ class TestBenchmarking:
         def run():
             yield sim.process(mgr.prepare([plan]))
             for round_index in range(1, n_rounds + 1):
-                yield sim.process(mgr.run_round(round_index, None, 0.0, 33000, lambda o: None))
+                yield sim.process(mgr.run_round(round_index, None, 0.0, 33000, CallbackSink(lambda o: None)))
 
         sim.process(run())
         sim.run()
