@@ -37,7 +37,11 @@ from bench_fig8_scalability import (  # noqa: E402
 )
 from bench_kernel_throughput import measure_throughputs  # noqa: E402
 from bench_phone_tier import measure_phone_tier_speedup  # noqa: E402
-from bench_scenarios import CI_TENANTS, measure_scenario_ci  # noqa: E402
+from bench_scenarios import (  # noqa: E402
+    CI_TENANTS,
+    measure_alarm_overhead,
+    measure_scenario_ci,
+)
 
 #: Metrics checked against the committed baseline (20% tolerance after
 #: on-machine calibration absorbs runner-speed differences).
@@ -60,6 +64,9 @@ RATIO_FLOORS = {
     "sweep_numeric_speedup": 3.0,
     "phone_batched_speedup": 3.0,
     "cloud_block_speedup": 2.0,
+    # Live alarm evaluation is per monitor event, never per device; the
+    # alarmed 12-tenant grid must replay within ~5% of the plain one.
+    "alarm_overhead_ratio": 0.95,
 }
 
 GATED_METRICS = BASELINE_METRICS + tuple(RATIO_FLOORS)
@@ -98,6 +105,7 @@ def run_benchmarks() -> dict:
     phone = measure_phone_tier_speedup(CI_PHONE_SCALE, CI_PHONE_FLEET)
     scenario = measure_scenario_ci(CI_SCENARIO_SCALE, n_tenants=CI_TENANTS)
     cloud = measure_cloud_block_speedup(CI_CLOUD_SCALE)
+    alarm = measure_alarm_overhead(CI_SCENARIO_SCALE, n_tenants=CI_TENANTS)
     return {
         "calibration_ops_per_sec": calibration,
         "kernel": kernel,
@@ -106,6 +114,7 @@ def run_benchmarks() -> dict:
         "phone_sweep": phone,
         "scenario": scenario,
         "cloud_ingest": cloud,
+        "alarm_overhead": alarm,
         "gated": {
             "calibrated_events_legacy": kernel["events_per_sec_legacy"] / calibration,
             "calibrated_events_batched": kernel["events_per_sec_batched"] / calibration,
@@ -116,6 +125,7 @@ def run_benchmarks() -> dict:
             "sweep_numeric_speedup": numeric["batched_speedup"],
             "phone_batched_speedup": phone["batched_speedup"],
             "cloud_block_speedup": cloud["block_speedup"],
+            "alarm_overhead_ratio": alarm["alarm_overhead_ratio"],
         },
     }
 
@@ -139,7 +149,7 @@ def compare(results: dict, baseline: dict, tolerance: float) -> list[str]:
     for metric, floor in RATIO_FLOORS.items():
         measured = results["gated"][metric]
         status = "OK " if measured >= floor else "FAIL"
-        print(f"  [{status}] {metric}: {measured:.3f} (absolute floor {floor:.1f})")
+        print(f"  [{status}] {metric}: {measured:.3f} (absolute floor {floor:g})")
         if measured < floor:
             failures.append(metric)
     return failures
@@ -184,6 +194,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not results["cloud_ingest"]["identical"]:
         print("FAIL: columnar cloud ingestion changed the simulated cloud state")
+        return 1
+    if results["alarm_overhead"]["alarm_events"] < 1:
+        print("FAIL: alarm-overhead run armed rules but no alarm ever transitioned")
         return 1
 
     if args.update_baseline:

@@ -44,10 +44,11 @@ class DropoutModel:
         for device_id in device_ids:
             p = self.probability
             if self.stickiness > 0.0:
-                if self._last_dropped.get(device_id, False):
-                    p = p + self.stickiness * (1.0 - p)
-                else:
-                    p = p * (1.0 - self.stickiness)
+                p = (
+                    p + self.stickiness * (1.0 - p)
+                    if self._last_dropped.get(device_id, False)
+                    else p * (1.0 - self.stickiness)
+                )
             dropped = bool(self._rng.random() < p)
             result[device_id] = dropped
             self._last_dropped[device_id] = dropped

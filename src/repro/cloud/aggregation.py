@@ -343,14 +343,15 @@ class AggregationService:
             record.test_loss = metrics["log_loss"]
             record.test_accuracy = metrics["accuracy"]
             record.test_auc = metrics["auc"]
-        if self.train_eval_full:
-            shards = list(self.train_eval_shards.values())
-        else:
-            shards = [
+        shards = (
+            list(self.train_eval_shards.values())
+            if self.train_eval_full
+            else [
                 self.train_eval_shards[d]
                 for d in set(contributors)
                 if d in self.train_eval_shards
             ]
+        )
         if shards:
             features = np.concatenate([s.features for s in shards])
             labels = np.concatenate([s.labels for s in shards])

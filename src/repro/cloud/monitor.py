@@ -10,6 +10,7 @@ counters.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -23,6 +24,53 @@ class MonitorEvent:
     time: float
     kind: str
     fields: dict[str, Any] = field(default_factory=dict)
+
+
+class EventsView(Sequence):
+    """A read-only, zero-copy view over one kind's event bucket.
+
+    :meth:`Monitor.of_kind` used to copy the full per-kind list on every
+    call — hot in KPI extraction and in live alarm evaluation, where the
+    same kinds are queried per event over logs with hundreds of
+    thousands of entries.  This view wraps the live bucket instead:
+    indexing, slicing, iteration and equality against any sequence work,
+    mutation does not.  The view is *live* — events logged after it was
+    taken are visible through it.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Sequence[MonitorEvent]) -> None:
+        self._events = events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._events[index])
+        return self._events[index]
+
+    def __iter__(self) -> Iterator[MonitorEvent]:
+        return iter(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EventsView):
+            other = other._events
+        if isinstance(other, (list, tuple)):
+            return len(self._events) == len(other) and all(
+                a == b for a, b in zip(self._events, other)
+            )
+        return NotImplemented
+
+    def __hash__(self) -> None:  # pragma: no cover - mutable view
+        raise TypeError("EventsView is unhashable (it reflects a live bucket)")
+
+    def __repr__(self) -> str:
+        return f"EventsView({list(self._events)!r})"
+
+
+_EMPTY: tuple[MonitorEvent, ...] = ()
 
 
 class Monitor:
@@ -39,6 +87,24 @@ class Monitor:
         self.events: list[MonitorEvent] = []
         self.counters: Counter = Counter()
         self._by_kind: dict[str, list[MonitorEvent]] = {}
+        self._subscribers: list[Callable[[MonitorEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[MonitorEvent], None]) -> Callable:
+        """Register a streaming consumer called on every logged event.
+
+        Subscribers run synchronously inside :meth:`log`, in subscription
+        order, *after* the event is indexed — a subscriber that logs
+        further events (the alarm engine does) re-enters :meth:`log`
+        safely, and those nested events are dispatched too.  Subscribers
+        must not raise: an exception propagates to whatever platform code
+        logged the event.  Returns ``callback`` (handy for tests).
+        """
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[MonitorEvent], None]) -> None:
+        """Detach a previously subscribed consumer."""
+        self._subscribers.remove(callback)
 
     def log(self, kind: str, **fields: Any) -> MonitorEvent:
         """Record an event at the current simulated time."""
@@ -48,11 +114,18 @@ class Monitor:
         self.events.append(event)
         self._by_kind.setdefault(kind, []).append(event)
         self.counters[kind] += 1
+        for subscriber in self._subscribers:
+            subscriber(event)
         return event
 
-    def of_kind(self, kind: str) -> list[MonitorEvent]:
-        """All events of one kind, in order."""
-        return list(self._by_kind.get(kind, ()))
+    def of_kind(self, kind: str) -> Sequence[MonitorEvent]:
+        """All events of one kind, in order, as a read-only live view.
+
+        The view is zero-copy (the old list copy dominated KPI
+        extraction); callers that need an independent snapshot take
+        ``list(monitor.of_kind(kind))`` explicitly.
+        """
+        return EventsView(self._by_kind.get(kind, _EMPTY))
 
     def last(self, kind: str) -> MonitorEvent | None:
         """Most recent event of one kind."""

@@ -150,11 +150,12 @@ class K8sCluster:
         chosen: list[tuple[WorkerNode, ResourceBundle]] = []
         node_ids = sorted(self.nodes)
         for bundle in bundles:
-            if strategy is PlacementStrategy.SPREAD:
-                # Most free CPUs first (stable by id for determinism).
-                candidates = sorted(node_ids, key=lambda n: (-shadow[n][0], n))
-            else:
-                candidates = node_ids
+            # SPREAD: most free CPUs first (stable by id for determinism).
+            candidates = (
+                sorted(node_ids, key=lambda n: (-shadow[n][0], n))
+                if strategy is PlacementStrategy.SPREAD
+                else node_ids
+            )
             target = next((n for n in candidates if shadow_fits(n, bundle)), None)
             if target is None:
                 return None

@@ -36,6 +36,7 @@ global weights all match the generator path (enforced by
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import traceback
 from dataclasses import dataclass, field, replace
@@ -272,10 +273,8 @@ def _shard_worker_main(conn, payload_index: int, payload: _ShardPayload | None) 
         session.close()
         conn.send(("stopped",))
     except Exception:  # pragma: no cover - exercised only on worker crashes
-        try:
+        with contextlib.suppress(BrokenPipeError, OSError):
             conn.send(("error", traceback.format_exc()))
-        except (BrokenPipeError, OSError):
-            pass
     finally:
         conn.close()
 
@@ -363,16 +362,12 @@ class _WorkerShards:
 
     def close(self) -> None:
         for conn in self.connections:
-            try:
+            with contextlib.suppress(BrokenPipeError, OSError):
                 conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
         for process, conn in zip(self.processes, self.connections):
-            try:
+            with contextlib.suppress(EOFError, OSError):
                 if conn.poll(_SHUTDOWN_TIMEOUT_S):
                     conn.recv()  # "stopped" acknowledgement
-            except (EOFError, OSError):
-                pass
             conn.close()
             process.join(timeout=_SHUTDOWN_TIMEOUT_S)
             if process.is_alive():  # pragma: no cover - defensive cleanup

@@ -55,10 +55,7 @@ class SGD:
         n_records = len(labels)
         weights = np.array(weights, dtype=np.float64, copy=True)
         bias = float(bias)
-        if rng is None:
-            order = np.arange(n_records)
-        else:
-            order = rng.permutation(n_records)
+        order = np.arange(n_records) if rng is None else rng.permutation(n_records)
         for start in range(0, n_records, self.batch_size):
             batch = order[start : start + self.batch_size]
             batch_features = features[batch]
@@ -135,15 +132,16 @@ class SGD:
         dim = weights.shape[1]
         row_offsets = (np.arange(n_devices, dtype=np.intp) * dim)[:, None]
         for _ in range(epochs):
-            if rngs is None:
-                orders = np.broadcast_to(np.arange(n_records), (n_devices, n_records))
-            else:
-                orders = np.stack(
+            orders = (
+                np.broadcast_to(np.arange(n_records), (n_devices, n_records))
+                if rngs is None
+                else np.stack(
                     [
                         rng.permutation(n_records) if rng is not None else np.arange(n_records)
                         for rng in rngs
                     ]
                 )
+            )
             for start in range(0, n_records, self.batch_size):
                 batch = orders[:, start : start + self.batch_size]
                 batch_features = np.take_along_axis(features, batch[:, :, None], axis=1)

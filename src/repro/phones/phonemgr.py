@@ -131,10 +131,11 @@ class BenchmarkRecord:
             hi = bisect_right(timestamps, end + 1e-9)
             window = self.samples[lo:hi]
             energy = integrate_energy_mah(window)
-            if len(window) >= 2:
-                comm_kb = (window[-1].total_bytes - window[0].total_bytes) / 1024.0
-            else:
-                comm_kb = 0.0
+            comm_kb = (
+                (window[-1].total_bytes - window[0].total_bytes) / 1024.0
+                if len(window) >= 2
+                else 0.0
+            )
             summaries.append(
                 StageSummary(
                     stage=int(stage),
@@ -847,10 +848,11 @@ class PhoneMgr:
         pipeline, including its parse round-trips); legacy mode issues the
         five raw ADB commands and post-processes their output.
         """
-        if self.batch:
-            sample = direct_metric_sample(self.sim.now, phone, self.apk.package)
-        else:
-            sample = self._sample_via_adb(phone)
+        sample = (
+            direct_metric_sample(self.sim.now, phone, self.apk.package)
+            if self.batch
+            else self._sample_via_adb(phone)
+        )
         record.samples.append(sample)
         if self.on_sample is not None:
             self.on_sample(sample)

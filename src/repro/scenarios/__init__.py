@@ -22,6 +22,7 @@ Specs serialize to/from plain dicts, so YAML/JSON configs load trivially;
 ``python -m repro.scenarios run <name>`` runs the built-in library.
 """
 
+from repro.observability import AlarmRule, AutoscaleSpec, SLASpec
 from repro.scenarios.engine import ScenarioRunner, run_scenario
 from repro.scenarios.kpis import ScenarioReport, StatSummary, TenantKPIs, build_report
 from repro.scenarios.library import SCENARIOS, build_scenario
@@ -37,11 +38,14 @@ from repro.scenarios.spec import (
 
 __all__ = [
     "SCENARIOS",
+    "AlarmRule",
     "ArrivalSpec",
+    "AutoscaleSpec",
     "DispatchSpec",
     "FaultSpec",
     "GradeSpec",
     "PopulationSpec",
+    "SLASpec",
     "ScenarioReport",
     "ScenarioRunner",
     "ScenarioSpec",

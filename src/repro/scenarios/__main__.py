@@ -6,6 +6,11 @@ Examples::
     python -m repro.scenarios show flash_crowd --scale 500
     python -m repro.scenarios run diurnal_multitenant --scale 2000
     python -m repro.scenarios run flaky_fleet --seed 3 --json report.json
+    python -m repro.scenarios run autoscale_flash_crowd --sla
+
+With ``--sla`` the exit code becomes part of the contract: 0 when every
+service-level objective in the scenario holds against the final report,
+2 when any is violated (CI gates on it).
 """
 
 from __future__ import annotations
@@ -51,6 +56,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
         print(f"  report written to {args.json}")
+    if args.sla and not report.sla_ok:
+        violated = report.sla_violations()
+        print(
+            f"SLA check failed: {len(violated)} objective(s) violated", file=sys.stderr
+        )
+        return 2
     return 0
 
 
@@ -78,6 +89,11 @@ def main(argv: list[str] | None = None) -> int:
         "--legacy", action="store_true", help="per-device generator path (slow, bit-identical)"
     )
     run.add_argument("--json", type=Path, default=None, help="also write the report as JSON")
+    run.add_argument(
+        "--sla",
+        action="store_true",
+        help="exit with code 2 when any scenario SLA is violated",
+    )
     run.set_defaults(fn=_cmd_run)
 
     args = parser.parse_args(argv)

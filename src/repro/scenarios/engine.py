@@ -19,6 +19,7 @@ from repro.cluster.cost import LogicalCostModel
 from repro.cluster.resources import NodeSpec
 from repro.core.config import PlatformConfig
 from repro.core.platform import SimDC
+from repro.observability import AlarmEngine, AutoscalePolicy, attach_live_slas
 from repro.phones.cost import PhysicalCostModel
 from repro.phones.specs import DEFAULT_LOCAL_FLEET, build_fleet
 from repro.scenarios.kpis import ScenarioReport, build_report
@@ -106,7 +107,14 @@ class FaultInjector:
         self.platform.monitor.log("fault_network_degraded", factor=fault.factor, scale=scale)
 
     def _restore_network(self, fault: FaultSpec) -> None:
-        self._active_degradations.remove(fault)
+        # Remove by identity, not equality: two degradation windows with
+        # identical fields are distinct scheduled faults, and ``remove``'s
+        # ``==`` scan would pop the *first* window when the second expires
+        # (restoring capacity early) and then raise when the first ends.
+        for i, active in enumerate(self._active_degradations):
+            if active is fault:
+                del self._active_degradations[i]
+                break
         scale = self._apply_degradations()
         self.platform.monitor.log("fault_network_restored", factor=fault.factor, scale=scale)
 
@@ -148,6 +156,30 @@ class ScenarioRunner:
         self.faults = FaultInjector(self.platform)
         #: tenant name -> [(task_id, submit_time)] ledger for the report.
         self.submissions: dict[str, list[tuple[str, float]]] = {}
+        self._tenant_names = {tenant.name for tenant in spec.tenants}
+        # The live observability loop: alarms watch the monitor stream,
+        # SLAs piggyback as pure-threshold watches, and the autoscaler
+        # (when configured) turns alarm transitions into scaling actions.
+        self.alarms = AlarmEngine(
+            self.platform.monitor, rules=spec.alarms, scope_of=self._tenant_of_task
+        )
+        attach_live_slas(self.alarms, spec.all_slas())
+        self.autoscaler: AutoscalePolicy | None = None
+        if spec.autoscale is not None:
+            self.autoscaler = AutoscalePolicy(
+                spec.autoscale,
+                self.platform.monitor,
+                self.platform.resource_manager,
+                self.platform.task_manager,
+            )
+
+    def _tenant_of_task(self, task_id: str) -> str:
+        """Map a scenario task id back to its tenant (alarm scoping)."""
+        prefix = self.spec.name + "."
+        if not task_id.startswith(prefix):
+            return ""
+        tenant = task_id[len(prefix):].rsplit(".", 1)[0]
+        return tenant if tenant in self._tenant_names else ""
 
     # ------------------------------------------------------------------
     def _build_platform(self) -> SimDC:
@@ -222,7 +254,13 @@ class ScenarioRunner:
         # last completion) so the platform ends in its healthy state.
         self.platform.run(batch=self.batch)
         return build_report(
-            self.spec, self.platform, self.submissions, finished_at, batch=self.batch
+            self.spec,
+            self.platform,
+            self.submissions,
+            finished_at,
+            batch=self.batch,
+            alarms=self.alarms,
+            autoscaler=self.autoscaler,
         )
 
 

@@ -18,11 +18,23 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.observability import evaluate_slas
 from repro.scheduler.task import TaskState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.platform import SimDC
+    from repro.observability import AlarmEngine, AutoscalePolicy
     from repro.scenarios.spec import ScenarioSpec
+
+#: Monitor event kinds the observability loop emits (counted like faults).
+OBSERVABILITY_KINDS = (
+    "alarm_raised",
+    "alarm_cleared",
+    "sla_violation",
+    "sla_recovered",
+    "autoscale_up",
+    "autoscale_down",
+)
 
 
 @dataclass
@@ -99,6 +111,21 @@ class ScenarioReport:
     phone_utilization: dict[str, float] = field(default_factory=dict)
     #: Fault-plan events that actually fired, by monitor kind.
     fault_events: dict[str, int] = field(default_factory=dict)
+    #: Per-rule raise/clear counts and final state from the alarm engine.
+    alarms: dict[str, dict] = field(default_factory=dict)
+    #: Observability events that fired (alarm/SLA/autoscale kinds).
+    alarm_events: dict[str, int] = field(default_factory=dict)
+    #: Autoscaler action totals, or ``None`` when no policy was armed.
+    autoscale: dict | None = None
+    #: Final SLA verdicts: one row per (tenant, objective); see
+    #: :func:`repro.observability.evaluate_slas` for the row shape.
+    slas: list[dict] = field(default_factory=list)
+    #: Whether every SLA row holds (the CLI's ``--sla`` exit code).
+    sla_ok: bool = True
+
+    def sla_violations(self) -> list[dict]:
+        """The SLA rows that failed."""
+        return [row for row in self.slas if not row["ok"]]
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -123,6 +150,23 @@ class ScenarioReport:
         if self.fault_events:
             fired = ", ".join(f"{k}={v}" for k, v in sorted(self.fault_events.items()))
             lines.append(f"  faults fired: {fired}")
+        if self.alarm_events:
+            fired = ", ".join(f"{k}={v}" for k, v in sorted(self.alarm_events.items()))
+            lines.append(f"  observability events: {fired}")
+        if self.autoscale is not None:
+            a = self.autoscale
+            lines.append(
+                f"  autoscale[{a['alarm']}]: {a['scale_ups']} up / "
+                f"{a['scale_downs']} down, {a['extra_nodes_left']} extra left"
+            )
+        for row in self.slas:
+            value = "n/a" if row["value"] is None else f"{row['value']:.4g}"
+            bound = "<=" if row["direction"] == "max" else ">="
+            verdict = "ok" if row["ok"] else "VIOLATED"
+            lines.append(
+                f"  SLA {row['tenant']}: {row['metric']} {bound} "
+                f"{row['limit']:g} (value {value}) {verdict}"
+            )
         header = (
             f"  {'tenant':<16} {'done':>9} {'q-wait p50/p95':>16} "
             f"{'makespan p50':>12} {'rounds p50':>10} {'lost':>6} {'final acc':>9}"
@@ -154,6 +198,8 @@ def build_report(
     submissions: dict[str, list[tuple[str, float]]],
     finished_at: float,
     batch: bool | None = None,
+    alarms: AlarmEngine | None = None,
+    autoscaler: AutoscalePolicy | None = None,
 ) -> ScenarioReport:
     """Aggregate one finished run into a :class:`ScenarioReport`.
 
@@ -161,6 +207,9 @@ def build_report(
     ledger (the engine records it while scheduling the arrival events).
     ``batch`` records the execution mode actually used (the runner may
     override the spec's); it is display metadata, never a KPI input.
+    ``alarms`` / ``autoscaler`` are the run's live observability objects
+    (their summaries and the authoritative final SLA check land in the
+    report).
     """
     report = ScenarioReport(
         scenario=spec.name,
@@ -236,4 +285,12 @@ def build_report(
     for kind, count in platform.monitor.summary().items():
         if kind.startswith("fault_"):
             report.fault_events[kind] = count
+        elif kind in OBSERVABILITY_KINDS:
+            report.alarm_events[kind] = count
+    if alarms is not None:
+        report.alarms = alarms.summary()
+    if autoscaler is not None:
+        report.autoscale = autoscaler.summary()
+    report.slas = evaluate_slas(spec.all_slas(), report.tenants)
+    report.sla_ok = all(row["ok"] for row in report.slas)
     return report

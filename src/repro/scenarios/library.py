@@ -1,10 +1,12 @@
 """Built-in scenario library.
 
-Four named scenarios covering the workload shapes the paper motivates:
+Five named scenarios covering the workload shapes the paper motivates:
 a timezone-mixed production day (`diurnal_multitenant`), a sudden burst
 against a steady background (`flash_crowd`), an unreliable fleet with
-churn and bad networks (`flaky_fleet`), and a long repetitive cadence
-with a straggler window (`steady_state_soak`).
+churn and bad networks (`flaky_fleet`), a long repetitive cadence
+with a straggler window (`steady_state_soak`), and the burst replayed on
+an undersized cluster with live alarms driving the autoscaler
+(`autoscale_flash_crowd`).
 
 Every builder takes ``scale`` — the approximate total number of simulated
 devices summed over every task submission — and a master ``seed``; device
@@ -18,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro.observability import AlarmRule, AutoscaleSpec, SLASpec
 from repro.scenarios.spec import (
     ArrivalSpec,
     DispatchSpec,
@@ -237,12 +240,69 @@ def steady_state_soak(scale: int = 2000, seed: int = 0) -> ScenarioSpec:
     )
 
 
+def autoscale_flash_crowd(scale: int = 1000, seed: int = 0) -> ScenarioSpec:
+    """The flash crowd replayed on an undersized cluster with remediation.
+
+    A single logical node hosts a steady background when ten burst tasks
+    land inside twenty seconds.  A ``queue_depth`` alarm (warn at 3
+    queued tasks, critical at 6, hysteresis clear at 1, 10 s hold) raises
+    as the burst queues; the autoscaler answers each raise with two extra
+    nodes (up to six, 60 s cooldown) and drains them once the alarm
+    clears.  The SLAs assert the remediation worked: every task completes
+    and queue waits stay bounded.
+    """
+    u = _unit(scale, 48)
+    return ScenarioSpec(
+        name="autoscale_flash_crowd",
+        description="task burst on an undersized cluster; queue alarm drives the autoscaler",
+        seed=seed,
+        horizon_s=1800.0,
+        cluster_nodes=1,
+        population=PopulationSpec(),
+        tenants=[
+            TenantSpec(
+                name="steady",
+                priority=6,
+                grades=[GradeSpec(grade="Low", n_devices=4 * u, bundles=min(20, max(6, u)))],
+                arrival=ArrivalSpec(kind="periodic", count=4, period_s=300.0, offset_s=30.0),
+                dispatch=DispatchSpec(kind="realtime", thresholds=[20]),
+            ),
+            TenantSpec(
+                name="crowd",
+                priority=2,
+                grades=[GradeSpec(grade="High", n_devices=4 * u, bundles=min(16, max(8, 2 * u)))],
+                arrival=ArrivalSpec(kind="trace", times=[240.0 + 2.0 * i for i in range(10)]),
+                dispatch=DispatchSpec(kind="realtime", thresholds=[1]),
+                slas=[SLASpec(metric="completion_rate", limit=0.99, direction="min")],
+            ),
+        ],
+        alarms=[
+            AlarmRule(
+                name="queue-pressure",
+                signal="queue_depth",
+                warn=3.0,
+                critical=6.0,
+                clear=1.0,
+                min_hold_s=10.0,
+            ),
+        ],
+        autoscale=AutoscaleSpec(
+            alarm="queue-pressure", step=2, max_extra_nodes=6, cooldown_s=60.0
+        ),
+        slas=[
+            SLASpec(metric="queue_wait_p95", limit=1500.0),
+            SLASpec(metric="failed_tasks", limit=0.0),
+        ],
+    )
+
+
 #: The named library the CLI and benchmarks draw from.
 SCENARIOS: dict[str, Callable[..., ScenarioSpec]] = {
     "diurnal_multitenant": diurnal_multitenant,
     "flash_crowd": flash_crowd,
     "flaky_fleet": flaky_fleet,
     "steady_state_soak": steady_state_soak,
+    "autoscale_flash_crowd": autoscale_flash_crowd,
 }
 
 

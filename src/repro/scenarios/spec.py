@@ -11,7 +11,7 @@ strategy state and deterministic seeds.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
 import numpy as np
@@ -36,6 +36,7 @@ from repro.deviceflow.strategy import (
     TimeIntervalStrategy,
 )
 from repro.ml.operators import standard_fl_flow
+from repro.observability import AlarmRule, AutoscaleSpec, SLASpec
 from repro.scheduler.task import GradeRequirement, TaskSpec
 from repro.simkernel.random import stable_hash
 
@@ -291,6 +292,9 @@ class TenantSpec:
     records_per_device: int = 8
     flow_epochs: int = 1
     flow_learning_rate: float = 0.05
+    #: Tenant-scoped SLAs (their ``tenant`` field is pinned to this
+    #: tenant's name regardless of what the spec says).
+    slas: list[SLASpec] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -333,6 +337,8 @@ class TenantSpec:
             data["arrival"] = ArrivalSpec.from_dict(data["arrival"])
         if "dispatch" in data:
             data["dispatch"] = DispatchSpec.from_dict(data["dispatch"])
+        if "slas" in data:
+            data["slas"] = [SLASpec.from_dict(s) for s in data["slas"]]
         return cls(**data)
 
 
@@ -433,6 +439,19 @@ class ScenarioSpec:
     batch:
         Drive the run on the wave-scheduled fast paths (default) or the
         legacy per-device generators — bit-identical results either way.
+    alarms:
+        Live :class:`~repro.observability.AlarmRule` watches evaluated
+        during the run (``alarm_raised`` / ``alarm_cleared`` monitor
+        events, summarized in the report).
+    slas:
+        Scenario-wide service-level objectives; an SLA with an empty
+        ``tenant`` applies to every tenant.  Tenants carry their own
+        ``slas`` list too.  All are checked live (where a streaming
+        signal exists) and against the final report.
+    autoscale:
+        Optional :class:`~repro.observability.AutoscaleSpec` bound to one
+        of ``alarms`` — raise/clear transitions of that rule drive
+        cluster scale-up/scale-down during the run.
     """
 
     name: str
@@ -448,6 +467,9 @@ class ScenarioSpec:
     extra_high_phones: int = 0
     extra_low_phones: int = 0
     batch: bool = True
+    alarms: list[AlarmRule] = field(default_factory=list)
+    slas: list[SLASpec] = field(default_factory=list)
+    autoscale: AutoscaleSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -463,6 +485,30 @@ class ScenarioSpec:
             raise ValueError("cluster_nodes must be >= 1")
         if self.extra_high_phones < 0 or self.extra_low_phones < 0:
             raise ValueError("extra phone counts must be >= 0")
+        alarm_names = [a.name for a in self.alarms]
+        if len(set(alarm_names)) != len(alarm_names):
+            raise ValueError(f"duplicate alarm rule names: {alarm_names}")
+        for rule in self.alarms:
+            if rule.tenant and rule.tenant not in names:
+                raise ValueError(
+                    f"alarm {rule.name!r} watches unknown tenant {rule.tenant!r}"
+                )
+        for sla in self.slas:
+            if sla.tenant and sla.tenant not in names:
+                raise ValueError(
+                    f"SLA on {sla.metric!r} names unknown tenant {sla.tenant!r}"
+                )
+        if self.autoscale is not None and self.autoscale.alarm not in alarm_names:
+            raise ValueError(
+                f"autoscale policy references unknown alarm {self.autoscale.alarm!r}"
+            )
+
+    def all_slas(self) -> list[SLASpec]:
+        """Scenario-wide SLAs plus every tenant's own, tenant pinned."""
+        merged = list(self.slas)
+        for tenant in self.tenants:
+            merged.extend(replace(sla, tenant=tenant.name) for sla in tenant.slas)
+        return merged
 
     @property
     def total_devices(self) -> int:
@@ -483,4 +529,10 @@ class ScenarioSpec:
         if "population" in data:
             data["population"] = PopulationSpec.from_dict(data["population"])
         data["faults"] = [FaultSpec.from_dict(f) for f in data.get("faults", [])]
+        if "alarms" in data:
+            data["alarms"] = [AlarmRule.from_dict(a) for a in data["alarms"]]
+        if "slas" in data:
+            data["slas"] = [SLASpec.from_dict(s) for s in data["slas"]]
+        if data.get("autoscale") is not None:
+            data["autoscale"] = AutoscaleSpec.from_dict(data["autoscale"])
         return cls(**data)

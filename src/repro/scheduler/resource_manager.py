@@ -166,8 +166,27 @@ class ResourceManager:
         return [self.cluster.add_node(spec) for _ in range(count)]
 
     def scale_down(self, node_ids: list[str]) -> None:
-        """Drain idle nodes (fails on busy ones, like the cluster)."""
-        for node_id in node_ids:
+        """Drain idle nodes as one transaction: all of them, or none.
+
+        Every id is validated *before* anything is removed — unknown ids
+        raise :class:`KeyError` and nodes still hosting allocations raise
+        :class:`RuntimeError`, in both cases leaving the cluster exactly
+        as it was.  (The old implementation removed nodes one-by-one and
+        raised mid-loop on the first busy node, stranding the cluster
+        partially drained.)  Duplicate ids in ``node_ids`` are drained
+        once.
+        """
+        nodes = self.cluster.nodes
+        unique_ids = list(dict.fromkeys(node_ids))
+        missing = [nid for nid in unique_ids if nid not in nodes]
+        if missing:
+            raise KeyError(f"unknown nodes {missing!r}; nothing was removed")
+        busy = [nid for nid in unique_ids if not nodes[nid].idle]
+        if busy:
+            raise RuntimeError(
+                f"nodes {busy!r} still host allocations; nothing was removed"
+            )
+        for node_id in unique_ids:
             self.cluster.remove_node(node_id)
 
     def add_phones(self, phones: list[VirtualPhone]) -> None:

@@ -385,6 +385,7 @@ class TaskRunner:
                 task_id=spec.task_id,
                 round=round_index,
                 n_updates=record.n_updates,
+                n_devices=spec.total_devices,
                 test_accuracy=record.test_accuracy,
             )
 

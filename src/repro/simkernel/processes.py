@@ -189,10 +189,11 @@ class Process(Waitable):
         if self._done:
             return
         try:
-            if error is not None:
-                target = self._generator.throw(error)
-            else:
-                target = self._generator.send(value)
+            target = (
+                self._generator.throw(error)
+                if error is not None
+                else self._generator.send(value)
+            )
             self._wait_on(target)
         except StopIteration as stop:
             self._finish(stop.value, None)

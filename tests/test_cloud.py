@@ -335,9 +335,50 @@ class TestMonitor:
             assert monitor.last(kind) == (scanned[-1] if scanned else None)
         assert monitor.last("beta").fields == {"tag": "late"}
 
-    def test_of_kind_returns_copy(self):
+    def test_of_kind_view_is_immutable_and_live(self):
+        """of_kind is a zero-copy read-only view of the live bucket."""
         monitor = Monitor(Simulator())
         monitor.log("tick", value=1)
         bucket = monitor.of_kind("tick")
-        bucket.append("junk")
+        assert not hasattr(bucket, "append")
+        with pytest.raises(TypeError):
+            bucket[0] = "junk"
+        with pytest.raises(TypeError):
+            hash(bucket)
         assert len(monitor.of_kind("tick")) == 1
+        # The view is live: later events show through an existing handle.
+        monitor.log("tick", value=2)
+        assert len(bucket) == 2
+        assert [e.fields["value"] for e in bucket] == [1, 2]
+        assert bucket[-1].fields["value"] == 2
+        assert bucket[0:2] == list(bucket)
+        # Snapshot takers copy explicitly and keep independence.
+        snapshot = list(monitor.of_kind("tick"))
+        monitor.log("tick", value=3)
+        assert len(snapshot) == 2
+
+    def test_subscribers_see_every_event_in_order(self):
+        sim = Simulator()
+        monitor = Monitor(sim)
+        seen = []
+        monitor.subscribe(lambda e: seen.append((e.kind, e.fields.get("i"))))
+        monitor.log("a", i=0)
+        monitor.log("b", i=1)
+        assert seen == [("a", 0), ("b", 1)]
+        # A subscriber that logs re-enters safely; nested events dispatch.
+        def echo(event):
+            if event.kind == "ping":
+                monitor.log("pong")
+        monitor.subscribe(echo)
+        monitor.log("ping")
+        assert [k for k, _ in seen] == ["a", "b", "ping", "pong"]
+        assert monitor.counters["pong"] == 1
+
+    def test_unsubscribe_detaches(self):
+        monitor = Monitor(Simulator())
+        seen = []
+        cb = monitor.subscribe(lambda e: seen.append(e.kind))
+        monitor.log("one")
+        monitor.unsubscribe(cb)
+        monitor.log("two")
+        assert seen == ["one"]

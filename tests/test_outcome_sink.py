@@ -196,10 +196,11 @@ class TestTierDifferential:
         assert service_b.bytes_received == service_s.bytes_received
 
         # Storage: same keys, same payload bits, same metadata.
-        assert storage_b.keys() == storage_s.keys()
+        shared_keys = storage_s.keys()
+        assert storage_b.keys() == shared_keys
         assert storage_b.put_count == storage_s.put_count
         assert storage_b.total_bytes_written == storage_s.total_bytes_written
-        for key in storage_s.keys():
+        for key in shared_keys:
             head_b, head_s = storage_b.head(key), storage_s.head(key)
             assert head_b.size_bytes == head_s.size_bytes
             assert head_b.stored_at == head_s.stored_at

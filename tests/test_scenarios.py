@@ -206,6 +206,23 @@ class TestScenarioDeterminism:
         spec_b = build_scenario(name, scale=120, seed=2)
         assert run_scenario(spec_a).to_json() == run_scenario(spec_b).to_json()
 
+    def test_mid_round_degradation_identical_across_batch_modes(self):
+        """A degradation window opening *mid-round* must not split paths.
+
+        The window lands while tier waves and DeviceFlow deliveries are
+        in flight, so the restore event interleaves with same-timestamp
+        kernel work — exactly where the batched loop's draining order
+        could diverge from the legacy generator path.
+        """
+        faults = [
+            FaultSpec(kind="network_degradation", at=30.0, until=120.0, factor=0.05),
+            FaultSpec(kind="network_degradation", at=60.0, until=90.0, factor=0.5),
+        ]
+        batched = run_scenario(tiny_scenario(faults=faults), batch=True).to_dict()
+        legacy = run_scenario(tiny_scenario(faults=faults), batch=False).to_dict()
+        assert batched.pop("batch") is True and legacy.pop("batch") is False
+        assert batched == legacy
+
 
 # ----------------------------------------------------------------------
 # KPIs
@@ -329,6 +346,32 @@ class TestFaultInjection:
         sim.run(until=600.0)
         assert flow.capacity_scale == 1.0
 
+    def test_duplicate_overlapping_windows_restore_by_identity(self):
+        """Two field-identical windows must each unwind exactly once.
+
+        Regression: ``_restore_network`` used ``list.remove(fault)``,
+        which scans by *equality* — with duplicate windows the wrong list
+        entry can be popped, so the fix tracks active windows by object
+        identity.  Each restore must drop one (and only one) window.
+        """
+        window = dict(kind="network_degradation", at=10.0, until=100.0, factor=0.5)
+        spec = tiny_scenario(
+            faults=[FaultSpec(**window), FaultSpec(**window)]
+        )
+        assert spec.faults[0] == spec.faults[1]  # equality-keyed removal trap
+        runner = ScenarioRunner(spec)
+        runner.schedule()
+        sim = runner.platform.sim
+        flow = runner.platform.deviceflow
+        sim.run(until=50.0)
+        assert flow.capacity_scale == pytest.approx(0.25)  # both stack
+        assert len(runner.faults._active_degradations) == 2
+        sim.run(until=150.0)
+        assert flow.capacity_scale == 1.0
+        assert runner.faults._active_degradations == []
+        restored = runner.platform.monitor.of_kind("fault_network_restored")
+        assert len(restored) == 2
+
     def test_fault_covers_submission_filtering(self):
         fault = FaultSpec(kind="straggler", at=10.0, until=20.0, factor=2.0, tenant="a")
         assert fault.covers_submission("a", 10.0)
@@ -355,3 +398,32 @@ class TestCli:
         assert "flash_crowd" in capsys.readouterr().out
         written = json.loads(out_path.read_text())
         assert written["total_tasks"] == 16
+
+    def test_run_sla_exit_codes(self, capsys):
+        from repro.scenarios.__main__ import main
+
+        # autoscale_flash_crowd's SLAs hold -> exit 0 with or without --sla.
+        assert main(["run", "autoscale_flash_crowd", "--scale", "120", "--sla"]) == 0
+        out = capsys.readouterr().out
+        assert "SLA" in out and "VIOLATED" not in out
+        assert "observability events" in out
+
+    def test_run_sla_violation_exits_nonzero(self, capsys, monkeypatch):
+        from repro.observability import SLASpec
+        from repro.scenarios import __main__ as cli
+
+        def impossible(scale=None, seed=0, **_):
+            spec = tiny_scenario()
+            spec.slas = [SLASpec(metric="queue_wait_p95", limit=-1.0)]
+            return spec
+
+        # cli.SCENARIOS is library.SCENARIOS; patching the shared dict
+        # reroutes build_scenario too.
+        monkeypatch.setitem(cli.SCENARIOS, "flash_crowd", impossible)
+        # Without --sla the breach is reported but the exit code stays 0.
+        assert cli.main(["run", "flash_crowd"]) == 0
+        assert "VIOLATED" in capsys.readouterr().out
+        assert cli.main(["run", "flash_crowd", "--sla"]) == 2
+        captured = capsys.readouterr()
+        assert "VIOLATED" in captured.out
+        assert "SLA check failed" in captured.err

@@ -158,6 +158,44 @@ class TestResourceManager:
         rm.scale_up(NodeSpec(cpus=10, memory_gb=10), count=2)
         assert rm.total_bundles() == 60
 
+    def test_scale_down_drains_idle_nodes(self):
+        rm = make_rm(cores=40)
+        added = rm.scale_up(NodeSpec(cpus=10, memory_gb=10), count=2)
+        rm.scale_down(added)
+        assert rm.total_bundles() == 40
+        assert all(nid not in rm.cluster.nodes for nid in added)
+
+    def test_scale_down_is_transactional_on_busy_node(self):
+        """A busy node mid-list must leave the whole cluster untouched.
+
+        Regression: scale_down used to remove nodes one-by-one and blow
+        up mid-loop on the first busy node, stranding the nodes before it
+        already drained.
+        """
+        rm = make_rm(cores=40)
+        added = rm.scale_up(NodeSpec(cpus=10, memory_gb=10), count=3)
+        busy = rm.cluster.nodes[added[1]]
+        busy.allocate(ResourceBundle(cpus=1.0, memory_gb=1.0))
+        before = set(rm.cluster.nodes)
+        with pytest.raises(RuntimeError, match="nothing was removed"):
+            rm.scale_down(added)
+        assert set(rm.cluster.nodes) == before
+        assert rm.total_bundles() == 70
+
+    def test_scale_down_is_transactional_on_unknown_node(self):
+        rm = make_rm(cores=40)
+        added = rm.scale_up(NodeSpec(cpus=10, memory_gb=10), count=2)
+        before = set(rm.cluster.nodes)
+        with pytest.raises(KeyError, match="nothing was removed"):
+            rm.scale_down([added[0], "ghost", added[1]])
+        assert set(rm.cluster.nodes) == before
+
+    def test_scale_down_dedupes_node_ids(self):
+        rm = make_rm(cores=40)
+        added = rm.scale_up(NodeSpec(cpus=10, memory_gb=10), count=1)
+        rm.scale_down([added[0], added[0]])
+        assert rm.total_bundles() == 40
+
     def test_phone_shortage_detected(self):
         rm = make_rm(n_high=1)
         spec = make_spec(n_phones=3)
