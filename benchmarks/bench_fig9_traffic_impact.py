@@ -18,6 +18,8 @@ def test_fig9_traffic_impact(benchmark, persist_result):
     assert result.arrivals_in_window[1.0] >= result.arrivals_in_window[3.0]
     assert result.threshold_rounds[1.0] >= result.threshold_rounds[3.0]
     # (b): sigma=1 sees the most participants per scheduled round.
-    mean = lambda xs: sum(xs) / len(xs)
+    def mean(xs):
+        return sum(xs) / len(xs)
+
     assert mean(result.participation[1.0]) > mean(result.participation[3.0])
     persist_result("fig9_traffic_impact", format_fig9(result))

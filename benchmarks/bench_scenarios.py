@@ -32,6 +32,7 @@ from repro.scenarios import (
     ScenarioSpec,
     SLASpec,
     TenantSpec,
+    TransportSpec,
     run_scenario,
 )
 
@@ -248,6 +249,92 @@ def measure_alarm_overhead(total_devices: int = 10_000, n_tenants: int = CI_TENA
     }
 
 
+def measure_transport_overhead(
+    total_devices: int = 10_000, n_tenants: int = CI_TENANTS
+) -> dict:
+    """Pass-through transport cost: gated ingestion vs. the plain grid.
+
+    A ``TransportSpec`` with only a (never-binding) round deadline arms
+    the ingestion gate on every tenant without any channel impairment —
+    the configuration every lossless-but-deadline-bound deployment runs.
+    The gate's fast path is one vectorized deadline compare per block,
+    so the gated replay must stay within a few percent of the plain one:
+    ``transport_overhead_ratio`` (plain wall / gated wall) is gated at
+    0.95 by ``ci_gate.py``, interleaved-best-of-6 exactly like the
+    alarm-overhead gate (see :func:`measure_alarm_overhead` for why).
+    ``identical`` re-proves the lossless differential property at the
+    gate's scale: the gated report must be byte-identical to the plain
+    one (modulo the mode tag).
+    """
+
+    def one_run(with_transport: bool):
+        spec = build_grid_scenario(n_tenants=n_tenants, total_devices=total_devices)
+        if with_transport:
+            spec.transport = TransportSpec(deadline_s=1e6)
+        wall_start = time.perf_counter()
+        report = run_scenario(spec, batch=True)
+        return time.perf_counter() - wall_start, report
+
+    one_run(True)  # warmup: imports, allocator growth, cache fill
+    best = None
+    plain_report = gated_report = None
+    for _ in range(6):
+        plain_wall, plain_report = one_run(False)
+        gated_wall, gated_report = one_run(True)
+        pair = {
+            "wall_plain_s": plain_wall,
+            "wall_transport_s": gated_wall,
+            "transport_overhead_ratio": plain_wall / gated_wall,
+        }
+        if best is None or pair["transport_overhead_ratio"] > best["transport_overhead_ratio"]:
+            best = pair
+    return {
+        "n_tenants": n_tenants,
+        "total_devices": gated_report.total_devices,
+        **best,
+        "identical": _comparable(plain_report) == _comparable(gated_report),
+    }
+
+
+def measure_lossy_grid(total_devices: int = 10_000, n_tenants: int = CI_TENANTS) -> dict:
+    """The grid replayed through a lossy channel (reported, not gated).
+
+    1% loss + 0.5% duplication, capped-exponential retries and a 60 s
+    per-round deadline — the lossy variant of the CI grid.  Reports the
+    transport KPI totals, the retry pressure per simulated second, and
+    overall round completeness.
+    """
+    spec = build_grid_scenario(n_tenants=n_tenants, total_devices=total_devices)
+    spec.transport = TransportSpec(
+        latency_s=1.0,
+        jitter_s=0.5,
+        loss_prob=0.01,
+        dup_prob=0.005,
+        retry_base_s=2.0,
+        retry_cap_s=15.0,
+        max_attempts=4,
+        deadline_s=60.0,
+    )
+    wall_start = time.perf_counter()
+    report = run_scenario(spec, batch=True)
+    wall = time.perf_counter() - wall_start
+    kpis = list(report.tenants.values())
+    retries = sum(k.transport_retries for k in kpis)
+    expected = sum(k.updates_expected for k in kpis)
+    aggregated = sum(k.updates_aggregated for k in kpis)
+    return {
+        "n_tenants": n_tenants,
+        "total_devices": report.total_devices,
+        "wall_s": wall,
+        "retries": retries,
+        "retries_per_sim_s": retries / report.finished_at if report.finished_at else 0.0,
+        "duplicate_drops": sum(k.transport_duplicates for k in kpis),
+        "late_drops": sum(k.transport_late_drops for k in kpis),
+        "abandoned": sum(k.transport_abandoned for k in kpis),
+        "round_completeness": aggregated / expected if expected else 1.0,
+    }
+
+
 def main() -> None:
     from repro.experiments.render import format_table
 
@@ -283,6 +370,21 @@ def main() -> None:
         f"{overhead['alarm_overhead_ratio']:.3f} plain/alarmed "
         f"({overhead['armed_rules']} rules, "
         f"{overhead['alarm_events']} observability events)"
+    )
+    transport = measure_transport_overhead(sweep[-1])
+    print(
+        f"transport-gate overhead @ {sweep[-1]} devices: ratio "
+        f"{transport['transport_overhead_ratio']:.3f} plain/gated "
+        f"(identical={transport['identical']})"
+    )
+    lossy = measure_lossy_grid(sweep[-1])
+    print(
+        f"lossy grid @ {sweep[-1]} devices: {lossy['retries']} retries "
+        f"({lossy['retries_per_sim_s']:.2f}/sim-s), "
+        f"{lossy['duplicate_drops']} duplicates dropped, "
+        f"{lossy['late_drops']} late, {lossy['abandoned']} abandoned, "
+        f"round completeness {lossy['round_completeness']:.3f} "
+        f"in {lossy['wall_s']:.2f}s wall"
     )
 
 

@@ -41,6 +41,7 @@ from bench_scenarios import (  # noqa: E402
     CI_TENANTS,
     measure_alarm_overhead,
     measure_scenario_ci,
+    measure_transport_overhead,
 )
 
 #: Metrics checked against the committed baseline (20% tolerance after
@@ -67,6 +68,10 @@ RATIO_FLOORS = {
     # Live alarm evaluation is per monitor event, never per device; the
     # alarmed 12-tenant grid must replay within ~5% of the plain one.
     "alarm_overhead_ratio": 0.95,
+    # The transport ingestion gate's lossless fast path is one vectorized
+    # deadline compare per block; the gated grid must replay within ~5%
+    # of the plain one.
+    "transport_overhead_ratio": 0.95,
 }
 
 GATED_METRICS = BASELINE_METRICS + tuple(RATIO_FLOORS)
@@ -106,6 +111,7 @@ def run_benchmarks() -> dict:
     scenario = measure_scenario_ci(CI_SCENARIO_SCALE, n_tenants=CI_TENANTS)
     cloud = measure_cloud_block_speedup(CI_CLOUD_SCALE)
     alarm = measure_alarm_overhead(CI_SCENARIO_SCALE, n_tenants=CI_TENANTS)
+    transport = measure_transport_overhead(CI_SCENARIO_SCALE, n_tenants=CI_TENANTS)
     return {
         "calibration_ops_per_sec": calibration,
         "kernel": kernel,
@@ -115,6 +121,7 @@ def run_benchmarks() -> dict:
         "scenario": scenario,
         "cloud_ingest": cloud,
         "alarm_overhead": alarm,
+        "transport_overhead": transport,
         "gated": {
             "calibrated_events_legacy": kernel["events_per_sec_legacy"] / calibration,
             "calibrated_events_batched": kernel["events_per_sec_batched"] / calibration,
@@ -126,6 +133,7 @@ def run_benchmarks() -> dict:
             "phone_batched_speedup": phone["batched_speedup"],
             "cloud_block_speedup": cloud["block_speedup"],
             "alarm_overhead_ratio": alarm["alarm_overhead_ratio"],
+            "transport_overhead_ratio": transport["transport_overhead_ratio"],
         },
     }
 
@@ -197,6 +205,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if results["alarm_overhead"]["alarm_events"] < 1:
         print("FAIL: alarm-overhead run armed rules but no alarm ever transitioned")
+        return 1
+    if not results["transport_overhead"]["identical"]:
+        print("FAIL: the transport ingestion gate changed a lossless scenario report")
         return 1
 
     if args.update_baseline:

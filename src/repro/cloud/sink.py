@@ -31,6 +31,8 @@ import warnings
 from collections.abc import Callable
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
+import numpy as np
+
 from repro.cloud.aggregation import AggregationService
 from repro.cloud.storage import ObjectStorage
 from repro.deviceflow.controller import DeviceFlow
@@ -166,6 +168,15 @@ class CloudIngestSink:
     prefer_blocks:
         Ask batched plans for whole-round blocks (the default when no
         DeviceFlow is attached).
+    dedup:
+        Arm the idempotent-ingestion table: every ``(device, round)``
+        upload folds exactly once, duplicated/retried deliveries are
+        counted in ``duplicate_drops`` and discarded.  Armed whenever a
+        lossy transport channel fronts the sink.
+
+    When neither dedup nor a round deadline is armed, every ingestion
+    path is byte-for-byte the ungated fast path — the gate costs nothing
+    unless the transport layer is in play.
     """
 
     def __init__(
@@ -176,6 +187,7 @@ class CloudIngestSink:
         service: AggregationService,
         deviceflow: DeviceFlow | None = None,
         prefer_blocks: bool = True,
+        dedup: bool = False,
     ) -> None:
         self.sim = sim
         self.task_id = task_id
@@ -183,10 +195,89 @@ class CloudIngestSink:
         self.service = service
         self.deviceflow = deviceflow
         self.prefers_blocks = bool(prefer_blocks) and deviceflow is None
+        self.dedup = bool(dedup)
+        #: Uploads admitted / dropped by the ingestion gate.
+        self.delivered = 0
+        self.duplicate_drops = 0
+        self.late_drops = 0
+        self._seen: set[tuple[str, int]] = set()
+        self._deadlines: dict[int, float] = {}
+        self._guarded = self.dedup
+
+    # ------------------------------------------------------------------
+    def begin_round(self, round_index: int, deadline: float | None = None) -> None:
+        """Arm the ingestion gate for one round.
+
+        ``deadline`` is an absolute simulated time: scalar deliveries at
+        or after it (and block rows finishing at or after it) are
+        dropped as late instead of folded.
+        """
+        if deadline is not None:
+            self._deadlines[round_index] = float(deadline)
+            self._guarded = True
+
+    def _admit(self, device_id: str, round_index: int, when: float) -> bool:
+        """Late/duplicate gate for one upload; updates the counters."""
+        deadline = self._deadlines.get(round_index)
+        if deadline is not None and when >= deadline:
+            self.late_drops += 1
+            return False
+        if self.dedup:
+            key = (device_id, round_index)
+            if key in self._seen:
+                self.duplicate_drops += 1
+                return False
+            self._seen.add(key)
+        self.delivered += 1
+        return True
+
+    def _admit_block(self, block: ColumnarOutcomes) -> list[int] | None:
+        """Gate a whole block; ``None`` means every row was admitted."""
+        deadline = self._deadlines.get(block.round_index)
+        if not self.dedup:
+            if deadline is None:
+                self.delivered += len(block)
+                return None
+            late = np.asarray(block.finished_at) >= deadline
+            n_late = int(late.sum())
+            if n_late == 0:
+                self.delivered += len(block)
+                return None
+            self.late_drops += n_late
+            keep = np.flatnonzero(~late).tolist()
+            self.delivered += len(keep)
+            return keep
+        keep = []
+        dropped = False
+        for position, assignment in enumerate(block.plan.assignments):
+            if deadline is not None and float(block.finished_at[position]) >= deadline:
+                self.late_drops += 1
+                dropped = True
+                continue
+            key = (assignment.device_id, block.round_index)
+            if key in self._seen:
+                self.duplicate_drops += 1
+                dropped = True
+                continue
+            self._seen.add(key)
+            keep.append(position)
+        self.delivered += len(keep)
+        return keep if dropped else None
 
     # ------------------------------------------------------------------
     def accept(self, outcome: DeviceRoundOutcome) -> None:
         """Per-device ingestion (the legacy ``_handle_outcome`` semantics)."""
+        # Flow-connected sinks gate at dispatcher delivery instead
+        # (:meth:`flow_receive`): a submission is not an ingestion yet.
+        if (
+            self._guarded
+            and self.deviceflow is None
+            and not self._admit(outcome.device_id, outcome.round_index, self.sim.now)
+        ):
+            return
+        self._ingest(outcome)
+
+    def _ingest(self, outcome: DeviceRoundOutcome) -> None:
         ref = f"{self.task_id}/{outcome.device_id}/r{outcome.round_index}"
         if outcome.update is not None:
             self.storage.put(
@@ -212,6 +303,16 @@ class CloudIngestSink:
         n = len(block)
         if n == 0:
             return
+        if self._guarded and self.deviceflow is None:
+            keep = self._admit_block(block)
+            if keep is not None:
+                # Rows were dropped: ingest the survivors per device (in
+                # block order).  The exact-sum fold makes the aggregate
+                # bit-identical to a filtered block ingest.
+                outcomes = block.materialize()
+                for position in keep:
+                    self._ingest(outcomes[position])
+                return
         round_index = block.round_index
         device_ids = [a.device_id for a in block.plan.assignments]
         refs = [f"{self.task_id}/{d}/r{round_index}" for d in device_ids]
@@ -240,3 +341,17 @@ class CloudIngestSink:
             self.deviceflow.submit_block(message_block)
         else:
             self.service.receive_block(message_block)
+
+    # ------------------------------------------------------------------
+    def flow_receive(self, message: Message) -> None:
+        """DeviceFlow downstream endpoint with the ingestion gate applied.
+
+        Flow-dispatched messages reach the cloud at dispatcher delivery
+        time, so the late/duplicate check runs against ``sim.now`` here
+        rather than at outcome production.
+        """
+        if self._guarded and not self._admit(
+            message.device_id, message.round_index, self.sim.now
+        ):
+            return
+        self.service.receive_message(message)

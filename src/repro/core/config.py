@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
+from repro.cloud.transport import ChannelModel
 from repro.cluster.cost import LogicalCostModel
 from repro.cluster.resources import NodeSpec, ResourceBundle
 from repro.phones.cost import PhysicalCostModel
@@ -70,6 +71,10 @@ class PlatformConfig:
     scheduling_interval: float = 5.0
     batch: bool = True
     cloud_blocks: bool | None = None
+    #: Optional device→cloud transport channel fronting every task's
+    #: ingestion (loss, retries, duplication, outages).  ``None`` keeps
+    #: the ideal lossless exactly-once uplink.
+    channel: ChannelModel | None = None
 
     def __post_init__(self) -> None:
         if not self.cluster_nodes:

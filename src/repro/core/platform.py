@@ -99,6 +99,7 @@ class SimDC:
         at: float | None = None,
         logical_cost: LogicalCostModel | None = None,
         physical_cost: PhysicalCostModel | None = None,
+        channel_scope: str = "",
     ) -> TaskSpec:
         """Queue a task; optional overrides for arrival, allocation and data.
 
@@ -110,7 +111,8 @@ class SimDC:
         schedules whole task streams this way); ``logical_cost`` /
         ``physical_cost`` replace the platform-wide cost models for this
         task only (straggler injection slows a tenant down with scaled
-        copies).
+        copies).  ``channel_scope`` is the tenant name the configured
+        transport channel's per-tenant windows match against.
         """
         options: dict[str, Any] = {}
         if fixed_allocation is not None:
@@ -121,6 +123,8 @@ class SimDC:
             options["logical_cost"] = logical_cost
         if physical_cost is not None:
             options["physical_cost"] = physical_cost
+        if channel_scope:
+            options["channel_scope"] = channel_scope
         self._runner_options[spec.task_id] = options
         if at is not None:
             return self.task_manager.submit_at(spec, at)
@@ -208,4 +212,6 @@ class SimDC:
             unit_bundle=self.config.unit_bundle,
             batch=self.config.batch,
             cloud_blocks=self.config.cloud_blocks,
+            channel=self.config.channel,
+            channel_scope=options.get("channel_scope", ""),
         )

@@ -112,6 +112,18 @@ class DeviceFlow:
         del self._dispatchers[task_id]
         return discarded
 
+    def discard_shelved(self, task_id: str) -> int:
+        """Drop a task's shelved messages (deadline-based round closure).
+
+        The task stays registered; the discarded messages count into the
+        dispatcher's ``dropped_discard`` statistic (they never reach the
+        cloud).  Returns the number of messages discarded.
+        """
+        dispatcher = self._require(task_id)
+        messages = dispatcher.shelf.take_all()
+        dispatcher.dropped_discard += len(messages)
+        return len(messages)
+
     def dispatcher_for(self, task_id: str) -> Dispatcher:
         """The task's dispatcher (for inspection / monitoring)."""
         return self._require(task_id)

@@ -36,7 +36,14 @@ GAUGE_SIGNALS = ("queue_depth", "running_tasks")
 
 #: Sliding-window sample series (suffix one of ``_mean/_p50/_p95/_max``;
 #: the bare name reads as the windowed mean).
-SERIES_SIGNALS = ("queue_wait", "dropout_loss_rate", "round_updates")
+SERIES_SIGNALS = (
+    "queue_wait",
+    "dropout_loss_rate",
+    "round_updates",
+    "retry_rate",
+    "duplicate_drop_rate",
+    "round_completeness",
+)
 
 _STAT_SUFFIXES = ("_mean", "_p50", "_p95", "_max")
 
@@ -414,6 +421,25 @@ class AlarmEngine:
                 loss = 1.0 - n_updates / float(expected)
                 self._record(tenant, "dropout_loss_rate", loss)
                 touched = ("round_updates", "dropout_loss_rate")
+        elif kind == "transport_round":
+            tenant = self._tenant_of(fields)
+            touched_list = []
+            uploads = float(fields.get("uploads", 0) or 0)
+            if uploads > 0:
+                self._record(tenant, "retry_rate", float(fields.get("retries", 0)) / uploads)
+                self._record(
+                    tenant, "duplicate_drop_rate", float(fields.get("duplicates", 0)) / uploads
+                )
+                touched_list += ["retry_rate", "duplicate_drop_rate"]
+            expected = float(fields.get("expected", 0) or 0)
+            if expected > 0:
+                self._record(
+                    tenant, "round_completeness", float(fields.get("delivered", 0)) / expected
+                )
+                touched_list.append("round_completeness")
+            if not touched_list:
+                return
+            touched = tuple(touched_list)
         else:
             # Alarm/SLA/autoscale events and everything else: no signal
             # change, so no evaluation (and no log->evaluate recursion).

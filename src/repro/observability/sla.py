@@ -24,9 +24,19 @@ from repro.observability.alarms import AlarmEngine, AlarmRule, signal_exists
 _STAT_KPIS = ("queue_wait", "makespan", "turnaround", "round_duration")
 _STATS = ("mean", "p50", "p95", "max")
 #: ... plus derived scalar metrics.
-_SCALAR_METRICS = ("dropout_loss_rate", "completion_rate", "failed_tasks", "final_accuracy")
+_SCALAR_METRICS = (
+    "dropout_loss_rate",
+    "completion_rate",
+    "failed_tasks",
+    "final_accuracy",
+    "retry_rate",
+    "round_completeness",
+)
 
 #: Metrics that also exist as streaming signals for the live watch.
+#: Live transport metrics read the bare series name (windowed mean);
+#: their final-report counterparts normalize by ``updates_expected``, so
+#: the two denominators differ slightly on partially-failed tenants.
 _LIVE_METRICS = {
     "queue_depth": "queue_depth",
     "queue_wait_mean": "queue_wait_mean",
@@ -34,6 +44,8 @@ _LIVE_METRICS = {
     "queue_wait_p95": "queue_wait_p95",
     "queue_wait_max": "queue_wait_max",
     "dropout_loss_rate": "dropout_loss_rate",
+    "retry_rate": "retry_rate",
+    "round_completeness": "round_completeness",
 }
 
 
@@ -159,6 +171,14 @@ def metric_value(kpis, metric: str) -> float | None:
         return float(kpis.failed)
     if metric == "final_accuracy":
         return kpis.final_accuracy
+    if metric == "retry_rate":
+        if kpis.updates_expected <= 0:
+            return None
+        return kpis.transport_retries / kpis.updates_expected
+    if metric == "round_completeness":
+        if kpis.updates_expected <= 0:
+            return None
+        return kpis.updates_aggregated / kpis.updates_expected
     return None
 
 

@@ -11,7 +11,10 @@ a plain-data description of "a day of traffic on a real deployment" —
   template plus an arrival process (Poisson, deterministic cadence, or a
   trace of timestamps) and a declarative DeviceFlow dispatch recipe, and
 * a **fault plan** (timed phone crashes/recoveries, network-tier
-  degradation windows, straggler injection),
+  degradation windows, straggler injection, plus transport-level
+  message-loss / duplication / service-outage windows), and
+* an optional **transport recipe** (:class:`TenantSpec` deadlines and a
+  :class:`TransportSpec` lossy device→cloud channel with retry/backoff),
 
 and the :class:`ScenarioRunner` replays the whole thing on one simulated
 clock — submissions scheduled as simulator events, faults applied through
@@ -34,6 +37,7 @@ from repro.scenarios.spec import (
     PopulationSpec,
     ScenarioSpec,
     TenantSpec,
+    TransportSpec,
 )
 
 __all__ = [
@@ -52,6 +56,7 @@ __all__ = [
     "StatSummary",
     "TenantKPIs",
     "TenantSpec",
+    "TransportSpec",
     "build_report",
     "build_scenario",
     "run_scenario",

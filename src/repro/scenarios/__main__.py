@@ -1,5 +1,9 @@
 """Scenario CLI: ``python -m repro.scenarios {list,show,run}``.
 
+``show`` and ``run`` accept either a library scenario name or a path to
+a YAML/JSON scenario file (anything ``ScenarioSpec.from_dict`` round-
+trips — ``show <name> > spec.json`` writes a valid starting point).
+
 Examples::
 
     python -m repro.scenarios list
@@ -7,6 +11,7 @@ Examples::
     python -m repro.scenarios run diurnal_multitenant --scale 2000
     python -m repro.scenarios run flaky_fleet --seed 3 --json report.json
     python -m repro.scenarios run autoscale_flash_crowd --sla
+    python -m repro.scenarios run path/to/spec.yaml --sla
 
 With ``--sla`` the exit code becomes part of the contract: 0 when every
 service-level objective in the scenario holds against the final report,
@@ -23,6 +28,56 @@ from pathlib import Path
 
 from repro.scenarios.engine import run_scenario
 from repro.scenarios.library import SCENARIOS, build_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+_FILE_SUFFIXES = (".json", ".yaml", ".yml")
+
+
+def _load_spec_file(path: Path) -> ScenarioSpec:
+    """Parse a YAML/JSON scenario file through ``ScenarioSpec.from_dict``."""
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise SystemExit(
+                f"cannot read {path}: PyYAML is not installed "
+                f"(use a .json spec instead)"
+            ) from exc
+        data = yaml.safe_load(text)
+    else:
+        data = json.loads(text)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path} must contain one scenario mapping, got {type(data).__name__}")
+    return ScenarioSpec.from_dict(data)
+
+
+def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Resolve the ``name`` argument: scenario file or library entry.
+
+    File specs carry their own scale (``--scale`` is rejected) and seed
+    (``--seed`` overrides it when given).
+    """
+    name = args.name
+    path = Path(name)
+    if name.lower().endswith(_FILE_SUFFIXES) or path.exists():
+        if not path.exists():
+            raise SystemExit(f"scenario file not found: {path}")
+        if args.scale is not None:
+            raise SystemExit(
+                "--scale applies to library scenarios only; edit the file's "
+                "tenant device counts instead"
+            )
+        spec = _load_spec_file(path)
+        if args.seed is not None:
+            spec.seed = args.seed
+        return spec
+    if name not in SCENARIOS:
+        raise SystemExit(
+            f"unknown scenario {name!r} (and no such file); "
+            f"known: {', '.join(sorted(SCENARIOS))}"
+        )
+    return build_scenario(name, scale=args.scale, seed=args.seed or 0)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -36,13 +91,13 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    spec = build_scenario(args.name, scale=args.scale, seed=args.seed)
+    spec = _load_spec(args)
     print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = build_scenario(args.name, scale=args.scale, seed=args.seed)
+    spec = _load_spec(args)
     if args.legacy:
         spec.batch = False
     wall_start = time.perf_counter()
@@ -75,16 +130,17 @@ def main(argv: list[str] | None = None) -> int:
         fn=_cmd_list
     )
 
+    name_help = "library scenario name, or path to a YAML/JSON scenario file"
     show = sub.add_parser("show", help="print a scenario spec as JSON")
-    show.add_argument("name", choices=sorted(SCENARIOS))
+    show.add_argument("name", help=name_help)
     show.add_argument("--scale", type=int, default=None, help="approximate total devices")
-    show.add_argument("--seed", type=int, default=0)
+    show.add_argument("--seed", type=int, default=None)
     show.set_defaults(fn=_cmd_show)
 
     run = sub.add_parser("run", help="replay a scenario and print its report")
-    run.add_argument("name", choices=sorted(SCENARIOS))
+    run.add_argument("name", help=name_help)
     run.add_argument("--scale", type=int, default=None, help="approximate total devices")
-    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--seed", type=int, default=None)
     run.add_argument(
         "--legacy", action="store_true", help="per-device generator path (slow, bit-identical)"
     )

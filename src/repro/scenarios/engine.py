@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any
 
+from repro.cloud.transport import ChannelModel, ChannelWindow
 from repro.cluster.cost import LogicalCostModel
 from repro.cluster.resources import NodeSpec
 from repro.core.config import PlatformConfig
@@ -23,7 +24,14 @@ from repro.observability import AlarmEngine, AutoscalePolicy, attach_live_slas
 from repro.phones.cost import PhysicalCostModel
 from repro.phones.specs import DEFAULT_LOCAL_FLEET, build_fleet
 from repro.scenarios.kpis import ScenarioReport, build_report
-from repro.scenarios.spec import FaultSpec, ScenarioSpec
+from repro.scenarios.spec import FaultSpec, ScenarioSpec, TransportSpec
+
+#: FaultSpec transport kinds → ChannelWindow kinds.
+_WINDOW_KIND = {
+    "message_loss": "loss",
+    "message_duplication": "duplication",
+    "service_outage": "outage",
+}
 
 
 class FaultInjector:
@@ -58,6 +66,11 @@ class FaultInjector:
             # report counts it even when no submission lands inside.
             elif fault.kind == "straggler":
                 sim.schedule_at(fault.at, self._log_straggler_window, fault)
+            # Transport windows are baked into the channel model at
+            # build time (probabilities must be known before the first
+            # upload is planned); log the window opening for the report.
+            elif fault.kind in FaultSpec.TRANSPORT_KINDS:
+                sim.schedule_at(fault.at, self._log_transport_window, fault)
 
     # ------------------------------------------------------------------
     def _crash_phones(self, fault: FaultSpec, state: dict) -> None:
@@ -126,6 +139,14 @@ class FaultInjector:
             until=fault.until,
         )
 
+    def _log_transport_window(self, fault: FaultSpec) -> None:
+        self.platform.monitor.log(
+            f"fault_{fault.kind}",
+            tenant=fault.tenant or "*",
+            factor=fault.factor,
+            until=fault.until,
+        )
+
 
 class ScenarioRunner:
     """Builds the platform for a spec and replays the scenario on it.
@@ -182,6 +203,41 @@ class ScenarioRunner:
         return tenant if tenant in self._tenant_names else ""
 
     # ------------------------------------------------------------------
+    def _build_channel(self) -> ChannelModel | None:
+        """The device→cloud channel: transport spec + fault-plan windows.
+
+        ``None`` when the scenario declares no transport behaviour at
+        all — the platform then skips the channel layer entirely and
+        stays byte-identical to pre-transport runs.  Transport fault
+        kinds without an explicit :class:`TransportSpec` imply a default
+        (otherwise lossless) channel carrying just those windows.
+        """
+        spec = self.spec
+        windows = [
+            ChannelWindow(
+                kind=_WINDOW_KIND[fault.kind],
+                at=fault.at,
+                until=fault.until,
+                prob=fault.factor if fault.kind != "service_outage" else 1.0,
+                tenant=fault.tenant,
+            )
+            for fault in spec.faults
+            if fault.kind in FaultSpec.TRANSPORT_KINDS
+        ]
+        if spec.transport is None and not windows:
+            return None
+        transport = spec.transport or TransportSpec()
+        return ChannelModel(
+            latency_s=transport.latency_s,
+            jitter_s=transport.jitter_s,
+            loss_prob=transport.loss_prob,
+            dup_prob=transport.dup_prob,
+            retry_base_s=transport.retry_base_s,
+            retry_cap_s=transport.retry_cap_s,
+            max_attempts=transport.max_attempts,
+            windows=windows,
+        )
+
     def _build_platform(self) -> SimDC:
         spec = self.spec
         local_fleet = tuple(DEFAULT_LOCAL_FLEET) + tuple(
@@ -194,6 +250,7 @@ class ScenarioRunner:
             deviceflow_capacity=spec.deviceflow_capacity,
             batch=self.batch,
             cloud_blocks=self.cloud_blocks,
+            channel=self._build_channel(),
         )
         return SimDC(config)
 
@@ -224,6 +281,7 @@ class ScenarioRunner:
         if self.submissions:
             raise RuntimeError("scenario already scheduled")
         spec = self.spec
+        default_deadline = spec.transport.deadline_s if spec.transport is not None else None
         n_tasks = 0
         for tenant in spec.tenants:
             ledger: list[tuple[str, float]] = []
@@ -231,8 +289,10 @@ class ScenarioRunner:
             times = tenant.arrival.submission_times(arrival_rng)
             for index, submit_time in enumerate(times):
                 task = tenant.build_task(spec.name, index, spec.seed, spec.population)
+                if task.deadline_s is None and default_deadline is not None:
+                    task.deadline_s = default_deadline
                 slowdown = self._straggler_factor(tenant.name, submit_time)
-                options: dict[str, Any] = {}
+                options: dict[str, Any] = {"channel_scope": tenant.name}
                 if slowdown > 1.0:
                     logical, physical = self._slowed_costs(slowdown)
                     options["logical_cost"] = logical

@@ -82,6 +82,14 @@ class TenantKPIs:
     updates_aggregated: int = 0
     #: Updates DeviceFlow lost (transmission failures + discards).
     dropout_lost: int = 0
+    #: Transport-layer totals (zero when no channel/deadline was armed):
+    #: channel retries, duplicate deliveries dropped by the dedup table,
+    #: uploads that missed the round deadline, uploads abandoned after
+    #: exhausting the retry budget.
+    transport_retries: int = 0
+    transport_duplicates: int = 0
+    transport_late_drops: int = 0
+    transport_abandoned: int = 0
     #: Mean final test accuracy over completed numeric tasks (None when
     #: the tenant runs time-only tasks).
     final_accuracy: float | None = None
@@ -150,6 +158,15 @@ class ScenarioReport:
         if self.fault_events:
             fired = ", ".join(f"{k}={v}" for k, v in sorted(self.fault_events.items()))
             lines.append(f"  faults fired: {fired}")
+        retries = sum(k.transport_retries for k in self.tenants.values())
+        duplicates = sum(k.transport_duplicates for k in self.tenants.values())
+        late = sum(k.transport_late_drops for k in self.tenants.values())
+        abandoned = sum(k.transport_abandoned for k in self.tenants.values())
+        if retries or duplicates or late or abandoned:
+            lines.append(
+                f"  transport: {retries} retries, {duplicates} duplicates dropped, "
+                f"{late} late-dropped, {abandoned} abandoned"
+            )
         if self.alarm_events:
             fired = ", ".join(f"{k}={v}" for k, v in sorted(self.alarm_events.items()))
             lines.append(f"  observability events: {fired}")
@@ -251,6 +268,12 @@ def build_report(
             kpis.updates_expected += tenant.devices_per_task * tenant.rounds
             if result.flow_stats is not None:
                 kpis.dropout_lost += result.flow_stats.dropped
+            transport = getattr(result, "transport", None)
+            if transport is not None:
+                kpis.transport_retries += transport["retries"]
+                kpis.transport_duplicates += transport["duplicate_drops"]
+                kpis.transport_late_drops += transport["late_drops"]
+                kpis.transport_abandoned += transport["abandoned"]
             if result.rounds and result.rounds[-1].test_accuracy is not None:
                 accuracies.append(result.rounds[-1].test_accuracy)
             task_bundles = sum(g.bundles for g in tenant.grades)

@@ -1,12 +1,14 @@
 """Built-in scenario library.
 
-Five named scenarios covering the workload shapes the paper motivates:
+Six named scenarios covering the workload shapes the paper motivates:
 a timezone-mixed production day (`diurnal_multitenant`), a sudden burst
 against a steady background (`flash_crowd`), an unreliable fleet with
 churn and bad networks (`flaky_fleet`), a long repetitive cadence
-with a straggler window (`steady_state_soak`), and the burst replayed on
+with a straggler window (`steady_state_soak`), the burst replayed on
 an undersized cluster with live alarms driving the autoscaler
-(`autoscale_flash_crowd`).
+(`autoscale_flash_crowd`), and a lossy device→cloud uplink with
+retry/backoff, duplication, an outage window, and deadline-closed
+rounds (`lossy_uplink`).
 
 Every builder takes ``scale`` — the approximate total number of simulated
 devices summed over every task submission — and a master ``seed``; device
@@ -29,6 +31,7 @@ from repro.scenarios.spec import (
     PopulationSpec,
     ScenarioSpec,
     TenantSpec,
+    TransportSpec,
 )
 
 
@@ -296,6 +299,77 @@ def autoscale_flash_crowd(scale: int = 1000, seed: int = 0) -> ScenarioSpec:
     )
 
 
+def lossy_uplink(scale: int = 1000, seed: int = 0) -> ScenarioSpec:
+    """A fault-tolerant uplink run: loss, duplication, and an outage.
+
+    One numeric federated tenant uploads through a lossy channel (2 s
+    latency, capped-exponential retry, per-round 900 s deadline) while a
+    background telemetry stream shares the platform.  Mid-run faults
+    raise the loss rate to 15%, inject 5% duplicates, and black out the
+    ingestion service for a minute.  A ``retry_rate_mean`` alarm watches
+    the retry storm live, and the SLAs assert the transport degraded
+    gracefully: ≥85% of expected updates still fold into each round and
+    the per-update retry cost stays bounded.
+    """
+    u = _unit(scale, 60)
+    return ScenarioSpec(
+        name="lossy_uplink",
+        description="lossy uplink with retries, duplication, outage, deadline-closed rounds",
+        seed=seed,
+        horizon_s=3600.0,
+        population=PopulationSpec(),
+        transport=TransportSpec(
+            latency_s=2.0,
+            jitter_s=1.0,
+            retry_base_s=4.0,
+            retry_cap_s=60.0,
+            max_attempts=5,
+            deadline_s=900.0,
+        ),
+        tenants=[
+            TenantSpec(
+                name="uplink",
+                priority=6,
+                rounds=2,
+                numeric=True,
+                feature_dim=32,
+                records_per_device=6,
+                grades=[
+                    GradeSpec(grade="High", n_devices=6 * u, bundles=min(48, max(6, 2 * u))),
+                    GradeSpec(grade="Low", n_devices=3 * u, bundles=min(24, max(4, u))),
+                ],
+                arrival=ArrivalSpec(kind="periodic", count=3, period_s=1000.0, offset_s=60.0),
+                dispatch=DispatchSpec(kind="interval", interval_s=300.0),
+                slas=[
+                    SLASpec(metric="round_completeness", limit=0.85, direction="min"),
+                    SLASpec(metric="retry_rate", limit=1.0),
+                ],
+            ),
+            TenantSpec(
+                name="telemetry",
+                priority=2,
+                grades=[GradeSpec(grade="Low", n_devices=3 * u, bundles=min(16, max(4, u)))],
+                arrival=ArrivalSpec(kind="periodic", count=4, period_s=800.0, offset_s=200.0),
+                dispatch=DispatchSpec(kind="realtime", thresholds=[10]),
+            ),
+        ],
+        faults=[
+            FaultSpec(kind="message_loss", at=400.0, until=2600.0, factor=0.15),
+            FaultSpec(kind="message_duplication", at=600.0, until=2200.0, factor=0.05),
+            FaultSpec(kind="service_outage", at=1200.0, until=1260.0),
+        ],
+        alarms=[
+            AlarmRule(
+                name="retry-burst",
+                signal="retry_rate_mean",
+                warn=0.05,
+                clear=0.02,
+                window_s=600.0,
+            ),
+        ],
+    )
+
+
 #: The named library the CLI and benchmarks draw from.
 SCENARIOS: dict[str, Callable[..., ScenarioSpec]] = {
     "diurnal_multitenant": diurnal_multitenant,
@@ -303,6 +377,7 @@ SCENARIOS: dict[str, Callable[..., ScenarioSpec]] = {
     "flaky_fleet": flaky_fleet,
     "steady_state_soak": steady_state_soak,
     "autoscale_flash_crowd": autoscale_flash_crowd,
+    "lossy_uplink": lossy_uplink,
 }
 
 

@@ -292,6 +292,10 @@ class TenantSpec:
     records_per_device: int = 8
     flow_epochs: int = 1
     flow_learning_rate: float = 0.05
+    #: Per-round aggregation deadline (seconds from round start); late
+    #: uploads are dropped and the round closes on the partial fold.
+    #: ``None`` inherits the scenario transport's default deadline.
+    deadline_s: float | None = None
     #: Tenant-scoped SLAs (their ``tenant`` field is pinned to this
     #: tenant's name regardless of what the spec says).
     slas: list[SLASpec] = field(default_factory=list)
@@ -301,6 +305,10 @@ class TenantSpec:
             raise ValueError("tenant name must be non-empty")
         if not self.grades:
             raise ValueError(f"tenant {self.name!r} needs at least one grade")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"tenant {self.name!r} deadline_s must be > 0, got {self.deadline_s!r}"
+            )
 
     @property
     def devices_per_task(self) -> int:
@@ -320,6 +328,7 @@ class TenantSpec:
             deviceflow_strategy=self.dispatch.build(population),
             numeric=self.numeric,
             feature_dim=self.feature_dim,
+            deadline_s=self.deadline_s,
             dataset_seed=(seed * 1_000_003 + index * 9_176 + stable_hash(self.name)[0])
             % (2**31),
             records_per_device=self.records_per_device,
@@ -362,7 +371,19 @@ class FaultSpec:
       empty) whose tasks are *submitted* inside ``[at, until)`` run with
       per-device durations scaled by ``factor`` (> 1): slow devices, both
       tiers.
+    * ``"message_loss"`` / ``"message_duplication"`` — between ``at`` and
+      ``until``, device→cloud uploads are lost / duplicated with
+      probability ``factor`` (in (0, 1]); lost uploads trigger the
+      channel's retry policy.  ``tenant`` scopes the window (empty =
+      every tenant).
+    * ``"service_outage"`` — between ``at`` and ``until`` the cloud
+      ingestion service rejects every upload; devices back off and retry
+      past the window (or abandon after max attempts).
     """
+
+    #: Fault kinds routed to the transport channel as impairment windows.
+    TRANSPORT_KINDS = ("message_loss", "message_duplication", "service_outage")
+    KINDS = ("phone_crash", "network_degradation", "straggler") + TRANSPORT_KINDS
 
     kind: str
     at: float = 0.0
@@ -373,24 +394,35 @@ class FaultSpec:
     tenant: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in ("phone_crash", "network_degradation", "straggler"):
+        if self.kind not in self.KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.at < 0:
-            raise ValueError("fault time must be >= 0")
+            raise ValueError(f"fault time must be >= 0, got {self.at!r}")
         if self.until is not None and self.until <= self.at:
-            raise ValueError("fault recovery must come after the fault")
+            raise ValueError(
+                f"fault recovery must come after the fault: "
+                f"until={self.until!r} <= at={self.at!r}"
+            )
         if self.kind == "phone_crash" and self.count < 1:
-            raise ValueError("phone_crash needs count >= 1")
+            raise ValueError(f"phone_crash needs count >= 1, got {self.count!r}")
         if self.kind == "network_degradation":
             if self.until is None:
-                raise ValueError("network_degradation needs an end time")
+                raise ValueError(
+                    f"network_degradation needs an end time, got until={self.until!r}"
+                )
             if not 0.0 < self.factor <= 1.0:
-                raise ValueError("degradation factor must be in (0, 1]")
+                raise ValueError(f"degradation factor must be in (0, 1], got {self.factor!r}")
         if self.kind == "straggler":
             if self.until is None:
-                raise ValueError("straggler injection needs a window end")
+                raise ValueError(f"straggler injection needs a window end, got until={self.until!r}")
             if self.factor <= 1.0:
-                raise ValueError("straggler slowdown factor must be > 1")
+                raise ValueError(f"straggler slowdown factor must be > 1, got {self.factor!r}")
+        if self.kind in self.TRANSPORT_KINDS and self.until is None:
+            raise ValueError(f"{self.kind} needs an end time, got until={self.until!r}")
+        if self.kind in ("message_loss", "message_duplication") and not 0.0 < self.factor <= 1.0:
+            raise ValueError(
+                f"{self.kind} probability (factor) must be in (0, 1], got {self.factor!r}"
+            )
 
     def covers_submission(self, tenant: str, time: float) -> bool:
         """Whether a straggler window applies to a tenant submission."""
@@ -406,6 +438,63 @@ class FaultSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> FaultSpec:
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# device→cloud transport
+# ----------------------------------------------------------------------
+@dataclass
+class TransportSpec:
+    """Device→cloud channel behaviour for the whole scenario.
+
+    Describes the :class:`~repro.cloud.transport.ChannelModel` every
+    task's uploads traverse: base delivery latency plus uniform jitter,
+    steady-state loss/duplication probabilities, and the device-side
+    retry policy (capped exponential backoff, ``max_attempts`` sends,
+    then the upload is abandoned).  Scheduled impairments come from the
+    fault plan (``message_loss`` / ``message_duplication`` /
+    ``service_outage`` kinds) and stack on top of the base rates.
+
+    ``deadline_s`` is the default per-round aggregation deadline for
+    tenants that do not set their own: rounds close at the deadline with
+    the partial fold and late uploads count as dropped.
+    """
+
+    latency_s: float = 0.0
+    jitter_s: float = 0.0
+    loss_prob: float = 0.0
+    dup_prob: float = 0.0
+    retry_base_s: float = 2.0
+    retry_cap_s: float = 60.0
+    max_attempts: int = 4
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.jitter_s < 0:
+            raise ValueError(
+                f"transport latency/jitter must be >= 0, got "
+                f"latency_s={self.latency_s!r}, jitter_s={self.jitter_s!r}"
+            )
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError(f"transport loss_prob must be in [0, 1), got {self.loss_prob!r}")
+        if not 0.0 <= self.dup_prob <= 1.0:
+            raise ValueError(f"transport dup_prob must be in [0, 1], got {self.dup_prob!r}")
+        if self.retry_base_s <= 0 or self.retry_cap_s <= 0:
+            raise ValueError(
+                f"transport retry backoff must be > 0, got "
+                f"retry_base_s={self.retry_base_s!r}, retry_cap_s={self.retry_cap_s!r}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"transport max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"transport deadline_s must be > 0, got {self.deadline_s!r}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> TransportSpec:
         return cls(**data)
 
 
@@ -429,6 +518,11 @@ class ScenarioSpec:
         Hard simulated-time guard for the run.
     tenants / population / faults:
         The workload, who generates it, and what goes wrong.
+    transport:
+        Optional device→cloud :class:`TransportSpec` (lossy channel,
+        retries, default round deadline).  ``None`` keeps the ideal
+        lossless exactly-once uplink — unless the fault plan schedules
+        transport windows, which imply a default channel.
     cluster_nodes:
         Logical-tier size, in 20-CPU/30-GB nodes (the paper's shape).
     deviceflow_capacity:
@@ -467,6 +561,7 @@ class ScenarioSpec:
     extra_high_phones: int = 0
     extra_low_phones: int = 0
     batch: bool = True
+    transport: TransportSpec | None = None
     alarms: list[AlarmRule] = field(default_factory=list)
     slas: list[SLASpec] = field(default_factory=list)
     autoscale: AutoscaleSpec | None = None
@@ -529,6 +624,8 @@ class ScenarioSpec:
         if "population" in data:
             data["population"] = PopulationSpec.from_dict(data["population"])
         data["faults"] = [FaultSpec.from_dict(f) for f in data.get("faults", [])]
+        if data.get("transport") is not None:
+            data["transport"] = TransportSpec.from_dict(data["transport"])
         if "alarms" in data:
             data["alarms"] = [AlarmRule.from_dict(a) for a in data["alarms"]]
         if "slas" in data:

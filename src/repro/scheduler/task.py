@@ -105,6 +105,10 @@ class TaskSpec:
         Mean local shard size for generated data.
     skew:
         Optional label-skew config (see ``make_federated_ctr_data``).
+    deadline_s:
+        Optional per-round aggregation deadline (seconds from round
+        start).  The round closes at the deadline with the partial fold
+        over the updates that made it; late arrivals are dropped.
     """
 
     name: str
@@ -118,6 +122,7 @@ class TaskSpec:
     dataset_seed: int = 0
     records_per_device: int = 20
     skew: dict | None = None
+    deadline_s: float | None = None
     task_id: str = field(default="", compare=False)
     state: TaskState = field(default=TaskState.PENDING, compare=False)
 
@@ -131,6 +136,8 @@ class TaskSpec:
             raise ValueError("rounds must be positive")
         if self.feature_dim <= 0:
             raise ValueError("feature_dim must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s!r}")
         if not self.task_id:
             self.task_id = f"task-{next(_task_counter):05d}"
         if self.flow is None:

@@ -25,6 +25,7 @@ from repro.cloud.database import MetricsDatabase
 from repro.cloud.monitor import Monitor
 from repro.cloud.sink import CloudIngestSink
 from repro.cloud.storage import ObjectStorage
+from repro.cloud.transport import ChannelModel, TransportChannel, TransportCounters
 from repro.cluster.actor import DeviceAssignment
 from repro.cluster.cluster import K8sCluster
 from repro.cluster.cost import LogicalCostModel
@@ -60,6 +61,9 @@ class TaskResult:
     rounds: list[AggregationRecord] = field(default_factory=list)
     flow_stats: object | None = None
     benchmark_records: list = field(default_factory=list)
+    #: Transport totals (uploads/retries/duplicate_drops/late_drops/...)
+    #: when a lossy channel or round deadline was armed, else ``None``.
+    transport: dict | None = None
     error: str | None = None
 
     @property
@@ -100,6 +104,12 @@ class TaskRunner:
         per-device regardless — traffic shaping samples individual
         arrivals mid-round.  Reports and aggregation records are
         byte-identical either way (``tests/test_outcome_sink.py``).
+    channel / channel_scope:
+        Optional device→cloud :class:`~repro.cloud.transport.ChannelModel`
+        fronting the ingestion sink, and the tenant scope its windows
+        match against.  A channel with no applicable impairment is
+        skipped entirely — lossless runs stay byte-identical to channel-
+        free ones.
     """
 
     def __init__(
@@ -122,6 +132,8 @@ class TaskRunner:
         unit_bundle: ResourceBundle | None = None,
         batch: bool = True,
         cloud_blocks: bool | None = None,
+        channel: ChannelModel | None = None,
+        channel_scope: str = "",
     ) -> None:
         self.sim = sim
         self.spec = spec
@@ -137,6 +149,11 @@ class TaskRunner:
         self.unit_bundle = unit_bundle if unit_bundle is not None else ResourceBundle(cpus=1.0, memory_gb=1.0)
         self._provided_dataset = dataset
         self.cloud_blocks = batch if cloud_blocks is None else bool(cloud_blocks)
+        self.channel = channel
+        self.channel_scope = channel_scope
+        self._sink: CloudIngestSink | None = None
+        self._channel: TransportChannel | None = None
+        self._open_round: int | None = None
         self.logical = LogicalSimulation(sim, cluster, self.logical_cost, self.streams, batch=batch)
         self.phonemgr = PhoneMgr(
             sim,
@@ -164,9 +181,37 @@ class TaskRunner:
             logical_plans, phone_plans, grade_devices = self._build_plans(dataset, allocation)
             self.service = self._build_service(dataset, grade_devices)
             uses_flow = self.deviceflow is not None and spec.deviceflow_strategy is not None
+            channel_active = self.channel is not None and self.channel.active_for(
+                self.channel_scope
+            )
+            gated = channel_active or spec.deadline_s is not None
+            # Flow tasks stream per-device (strategies sample individual
+            # arrivals mid-round); direct tasks hand each batched plan's
+            # round to the cloud as one columnar block.
+            self._sink = CloudIngestSink(
+                self.sim,
+                spec.task_id,
+                self.storage,
+                self.service,
+                deviceflow=self.deviceflow if uses_flow else None,
+                prefer_blocks=self.cloud_blocks,
+                dedup=channel_active,
+            )
+            if channel_active:
+                self._channel = TransportChannel(
+                    self.sim,
+                    self.channel,
+                    self._sink,
+                    self.streams,
+                    spec.task_id,
+                    scope=self.channel_scope,
+                )
             if uses_flow:
+                downstream = (
+                    self._sink.flow_receive if gated else self.service.receive_message
+                )
                 self.deviceflow.register_task(
-                    spec.task_id, spec.deviceflow_strategy, self.service.receive_message
+                    spec.task_id, spec.deviceflow_strategy, downstream
                 )
                 self._flow_registered = True
             prepares = []
@@ -202,6 +247,7 @@ class TaskRunner:
                 rounds=list(self.service.history),
                 flow_stats=flow_stats,
                 benchmark_records=list(self.phonemgr.benchmark_records),
+                transport=self._transport_summary() if gated else None,
             )
         except Exception as exc:
             spec.state = TaskState.FAILED
@@ -343,23 +389,34 @@ class TaskRunner:
     # ------------------------------------------------------------------
     def _run_round(self, round_index: int, model_bytes: int, uses_flow: bool) -> Generator:
         spec = self.spec
-        assert self.service is not None
+        assert self.service is not None and self._sink is not None
         if uses_flow:
             self.deviceflow.round_started(spec.task_id, round_index)
         model = self.service.model
         weights, bias = (model.get_params() if model is not None else (None, 0.0))
 
-        # Flow tasks stream per-device (strategies sample individual
-        # arrivals mid-round); direct tasks hand each batched plan's round
-        # to the cloud as one columnar block.
-        sink = CloudIngestSink(
-            self.sim,
-            spec.task_id,
-            self.storage,
-            self.service,
-            deviceflow=self.deviceflow if uses_flow else None,
-            prefer_blocks=self.cloud_blocks,
+        # Arm the round's transport gates.  The channel drops late
+        # uploads at their computed arrival times for direct tasks; flow
+        # tasks are gated at dispatcher delivery (the sink checks
+        # ``sim.now``), and their shelves are force-drained at the
+        # deadline so the round cannot hang on undispatched messages.
+        round_deadline = (
+            self.sim.now + spec.deadline_s if spec.deadline_s is not None else None
         )
+        self._open_round = round_index
+        if self._channel is not None:
+            self._channel.begin_round(
+                round_index, deadline=None if uses_flow else round_deadline
+            )
+        self._sink.begin_round(
+            round_index,
+            deadline=round_deadline if (uses_flow or self._channel is None) else None,
+        )
+        gate_before = (self._sink.delivered, self._sink.duplicate_drops, self._sink.late_drops)
+        if uses_flow and round_deadline is not None:
+            self.sim.schedule_at(round_deadline, self._close_flow_round, round_index)
+
+        sink = self._channel if self._channel is not None else self._sink
         tier_processes = []
         if self.logical.plans:
             tier_processes.append(
@@ -375,9 +432,26 @@ class TaskRunner:
             )
         if tier_processes:
             yield AllOf(tier_processes)
+        counters: TransportCounters | None = None
+        if self._channel is not None:
+            counters = yield from self._channel.finish_round()
         if uses_flow:
             self.deviceflow.round_completed(spec.task_id, round_index)
             yield self.sim.process(self._await_deliveries(), name=f"{spec.task_id}.drain")
+        if counters is not None:
+            self._log(
+                "transport_round",
+                task_id=spec.task_id,
+                round=round_index,
+                uploads=counters.uploads,
+                delivered=self._sink.delivered - gate_before[0],
+                retries=counters.retries,
+                duplicates=self._sink.duplicate_drops - gate_before[1],
+                late=counters.late_drops + self._sink.late_drops - gate_before[2],
+                abandoned=counters.abandoned,
+                expected=spec.total_devices,
+            )
+        self._open_round = None
         if self.service.pending_updates > 0:
             record = self.service.aggregate_now()
             self._log(
@@ -402,6 +476,34 @@ class TaskRunner:
             if stats.shelved == 0 and stats.delivered + stats.dropped >= stats.received:
                 return
             yield Timeout(1.0)
+
+    def _close_flow_round(self, round_index: int) -> None:
+        """Deadline closure for flow rounds: drop undispatched messages.
+
+        Scheduled at the round's absolute deadline; a no-op when the
+        round already finished (the guard also covers crashed tasks).
+        Already-dispatched late messages are dropped by the sink's gate
+        at delivery time.
+        """
+        if not getattr(self, "_flow_registered", False) or self._open_round != round_index:
+            return
+        dropped = self.deviceflow.discard_shelved(self.spec.task_id)
+        if dropped > 0:
+            self._log(
+                "round_deadline_closed",
+                task_id=self.spec.task_id,
+                round=round_index,
+                dropped=dropped,
+            )
+
+    def _transport_summary(self) -> dict:
+        """Task-level transport totals (channel + ingestion gate)."""
+        totals = self._channel.totals if self._channel is not None else TransportCounters()
+        summary = totals.as_dict()
+        summary["delivered"] = self._sink.delivered
+        summary["duplicate_drops"] = self._sink.duplicate_drops
+        summary["late_drops"] = totals.late_drops + self._sink.late_drops
+        return summary
 
     def _teardown(self, uses_flow: bool) -> None:
         self.logical.teardown()

@@ -191,7 +191,9 @@ class TestFig9:
         assert result.loss_at(1.0, mid) <= result.loss_at(3.0, mid) + 1e-9
 
     def test_scheduled_participation_ordered_by_sigma(self, result):
-        mean = lambda xs: sum(xs) / len(xs)
+        def mean(xs):
+            return sum(xs) / len(xs)
+
         assert mean(result.participation[1.0]) > mean(result.participation[3.0])
 
     def test_scheduled_accuracy_sigma1_dominates_late_rounds(self, result):

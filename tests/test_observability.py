@@ -426,9 +426,9 @@ class TestAutoscale:
         legacy = run_scenario(autoscale_scenario(), batch=False)
         repeat = run_scenario(autoscale_scenario(), batch=True)
         assert batched.to_json() == repeat.to_json()
-        b, l = batched.to_dict(), legacy.to_dict()
-        assert b.pop("batch") is True and l.pop("batch") is False
-        assert b == l
+        bat, leg = batched.to_dict(), legacy.to_dict()
+        assert bat.pop("batch") is True and leg.pop("batch") is False
+        assert bat == leg
         assert batched.alarm_events.get("alarm_raised", 0) >= 1
 
     def test_alarm_event_timeline_identical_across_modes(self):
