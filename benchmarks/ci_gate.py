@@ -41,6 +41,7 @@ from bench_scenarios import (  # noqa: E402
     CI_TENANTS,
     measure_alarm_overhead,
     measure_scenario_ci,
+    measure_tracing_overhead,
     measure_transport_overhead,
 )
 
@@ -72,6 +73,10 @@ RATIO_FLOORS = {
     # deadline compare per block; the gated grid must replay within ~5%
     # of the plain one.
     "transport_overhead_ratio": 0.95,
+    # Span recording is tuple appends + O(1) block references with all
+    # assembly deferred past the run; the traced grid must replay within
+    # ~5% of the plain one.
+    "tracing_overhead_ratio": 0.95,
 }
 
 GATED_METRICS = BASELINE_METRICS + tuple(RATIO_FLOORS)
@@ -112,6 +117,7 @@ def run_benchmarks() -> dict:
     cloud = measure_cloud_block_speedup(CI_CLOUD_SCALE)
     alarm = measure_alarm_overhead(CI_SCENARIO_SCALE, n_tenants=CI_TENANTS)
     transport = measure_transport_overhead(CI_SCENARIO_SCALE, n_tenants=CI_TENANTS)
+    tracing = measure_tracing_overhead(CI_SCENARIO_SCALE, n_tenants=CI_TENANTS)
     return {
         "calibration_ops_per_sec": calibration,
         "kernel": kernel,
@@ -122,6 +128,7 @@ def run_benchmarks() -> dict:
         "cloud_ingest": cloud,
         "alarm_overhead": alarm,
         "transport_overhead": transport,
+        "tracing_overhead": tracing,
         "gated": {
             "calibrated_events_legacy": kernel["events_per_sec_legacy"] / calibration,
             "calibrated_events_batched": kernel["events_per_sec_batched"] / calibration,
@@ -134,6 +141,7 @@ def run_benchmarks() -> dict:
             "cloud_block_speedup": cloud["block_speedup"],
             "alarm_overhead_ratio": alarm["alarm_overhead_ratio"],
             "transport_overhead_ratio": transport["transport_overhead_ratio"],
+            "tracing_overhead_ratio": tracing["tracing_overhead_ratio"],
         },
     }
 
@@ -208,6 +216,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not results["transport_overhead"]["identical"]:
         print("FAIL: the transport ingestion gate changed a lossless scenario report")
+        return 1
+    if not results["tracing_overhead"]["identical"]:
+        print("FAIL: span recording changed the simulated scenario report")
+        return 1
+    if results["tracing_overhead"]["trace_spans"] < 1:
+        print("FAIL: tracing-overhead run armed a tracer but assembled no spans")
         return 1
 
     if args.update_baseline:

@@ -9,6 +9,7 @@ counters.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import Counter
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
@@ -48,8 +49,23 @@ class EventsView(Sequence):
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return list(self._events[index])
+            # A slice of a view is a view: callers chain slices and the
+            # trace assembler's time-bounded helpers without paying a
+            # copy (the sliced snapshot is immutable, so the live-bucket
+            # caveat above does not extend to it).
+            return EventsView(self._events[index])
         return self._events[index]
+
+    def between(self, start: float, end: float) -> EventsView:
+        """Events with ``start <= time <= end`` as a view.
+
+        Event buckets are chronological (events are logged at the
+        simulator's current time), so the window is located by bisection
+        — O(log n) instead of a full scan.
+        """
+        lo = bisect_left(self._events, start, key=lambda e: e.time)
+        hi = bisect_right(self._events, end, key=lambda e: e.time)
+        return EventsView(self._events[lo:hi])
 
     def __iter__(self) -> Iterator[MonitorEvent]:
         return iter(self._events)
@@ -114,7 +130,12 @@ class Monitor:
         self.events.append(event)
         self._by_kind.setdefault(kind, []).append(event)
         self.counters[kind] += 1
-        for subscriber in self._subscribers:
+        # Dispatch over a snapshot: a subscriber that subscribes or
+        # unsubscribes while being dispatched (tear-down on a terminal
+        # alarm, say) must not shift the live list under this loop.
+        # Late subscribers see the *next* event; a same-dispatch
+        # unsubscribee still receives this one.
+        for subscriber in tuple(self._subscribers):
             subscriber(event)
         return event
 
@@ -126,6 +147,10 @@ class Monitor:
         ``list(monitor.of_kind(kind))`` explicitly.
         """
         return EventsView(self._by_kind.get(kind, _EMPTY))
+
+    def count_kind(self, kind: str) -> int:
+        """How many events of one kind were logged — O(1), no view built."""
+        return self.counters.get(kind, 0)
 
     def last(self, kind: str) -> MonitorEvent | None:
         """Most recent event of one kind."""

@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     # so a runtime import here would be circular.
     from repro.cluster.actor import DeviceRoundOutcome
     from repro.cluster.runner import ColumnarOutcomes
+    from repro.observability.tracing import Tracer
 
 
 @runtime_checkable
@@ -188,6 +189,8 @@ class CloudIngestSink:
         deviceflow: DeviceFlow | None = None,
         prefer_blocks: bool = True,
         dedup: bool = False,
+        tracer: Tracer | None = None,
+        trace_devices: bool = True,
     ) -> None:
         self.sim = sim
         self.task_id = task_id
@@ -196,6 +199,12 @@ class CloudIngestSink:
         self.deviceflow = deviceflow
         self.prefers_blocks = bool(prefer_blocks) and deviceflow is None
         self.dedup = bool(dedup)
+        # ``trace_devices`` is False when a TransportChannel fronts this
+        # sink — the channel records each device completion instead
+        # (deliveries here would otherwise double-record, once per retry
+        # duplicate).  Ingest-gate drops are always recorded here.
+        self.tracer = tracer
+        self._trace_devices = tracer is not None and trace_devices
         #: Uploads admitted / dropped by the ingestion gate.
         self.delivered = 0
         self.duplicate_drops = 0
@@ -221,11 +230,17 @@ class CloudIngestSink:
         deadline = self._deadlines.get(round_index)
         if deadline is not None and when >= deadline:
             self.late_drops += 1
+            if self.tracer is not None:
+                self.tracer.record_ingest_drop(self.task_id, device_id, round_index, when, "late")
             return False
         if self.dedup:
             key = (device_id, round_index)
             if key in self._seen:
                 self.duplicate_drops += 1
+                if self.tracer is not None:
+                    self.tracer.record_ingest_drop(
+                        self.task_id, device_id, round_index, when, "duplicate"
+                    )
                 return False
             self._seen.add(key)
         self.delivered += 1
@@ -244,20 +259,38 @@ class CloudIngestSink:
                 self.delivered += len(block)
                 return None
             self.late_drops += n_late
+            if self.tracer is not None:
+                for position in np.flatnonzero(late):
+                    self.tracer.record_ingest_drop(
+                        self.task_id,
+                        block.plan.assignments[position].device_id,
+                        block.round_index,
+                        float(block.finished_at[position]),
+                        "late",
+                    )
             keep = np.flatnonzero(~late).tolist()
             self.delivered += len(keep)
             return keep
         keep = []
         dropped = False
         for position, assignment in enumerate(block.plan.assignments):
-            if deadline is not None and float(block.finished_at[position]) >= deadline:
+            when = float(block.finished_at[position])
+            if deadline is not None and when >= deadline:
                 self.late_drops += 1
                 dropped = True
+                if self.tracer is not None:
+                    self.tracer.record_ingest_drop(
+                        self.task_id, assignment.device_id, block.round_index, when, "late"
+                    )
                 continue
             key = (assignment.device_id, block.round_index)
             if key in self._seen:
                 self.duplicate_drops += 1
                 dropped = True
+                if self.tracer is not None:
+                    self.tracer.record_ingest_drop(
+                        self.task_id, assignment.device_id, block.round_index, when, "duplicate"
+                    )
                 continue
             self._seen.add(key)
             keep.append(position)
@@ -267,6 +300,16 @@ class CloudIngestSink:
     # ------------------------------------------------------------------
     def accept(self, outcome: DeviceRoundOutcome) -> None:
         """Per-device ingestion (the legacy ``_handle_outcome`` semantics)."""
+        if self._trace_devices:
+            self.tracer.record_device(
+                self.task_id,
+                outcome.device_id,
+                outcome.grade,
+                outcome.round_index,
+                outcome.n_samples,
+                outcome.payload_bytes,
+                float(outcome.finished_at),
+            )
         # Flow-connected sinks gate at dispatcher delivery instead
         # (:meth:`flow_receive`): a submission is not an ingestion yet.
         if (
@@ -303,6 +346,10 @@ class CloudIngestSink:
         n = len(block)
         if n == 0:
             return
+        if self._trace_devices:
+            # O(1): the tracer keeps a reference to the columnar block
+            # and expands it to per-device records at assembly time.
+            self.tracer.record_block(self.task_id, block)
         if self._guarded and self.deviceflow is None:
             keep = self._admit_block(block)
             if keep is not None:

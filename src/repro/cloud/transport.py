@@ -39,6 +39,7 @@ from repro.simkernel import Signal, TimeoutPool
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.actor import DeviceRoundOutcome
+    from repro.observability.tracing import Tracer
     from repro.simkernel import RandomStreams, Simulator
 
 #: Impairment kinds a window can schedule (mirrors the FaultSpec kinds
@@ -245,6 +246,7 @@ class TransportChannel:
         streams: RandomStreams,
         task_id: str,
         scope: str = "",
+        tracer: Tracer | None = None,
     ) -> None:
         self.sim = sim
         self.model = model
@@ -252,6 +254,7 @@ class TransportChannel:
         self.streams = streams
         self.task_id = task_id
         self.scope = scope
+        self.tracer = tracer
         self.prefers_blocks = bool(getattr(inner, "prefers_blocks", True))
         self.pool = TimeoutPool(sim, name=f"transport.{task_id}")
         self.totals = TransportCounters()
@@ -278,17 +281,48 @@ class TransportChannel:
     def _route(self, outcome: DeviceRoundOutcome) -> None:
         self.round.uploads += 1
         rng = self.streams.get(f"transport.{self.task_id}.{outcome.device_id}")
-        plan = self.model.plan_upload(rng, float(outcome.finished_at), self.scope)
+        t0 = float(outcome.finished_at)
+        plan = self.model.plan_upload(rng, t0, self.scope)
         self.round.retries += plan.retries
+        tracer = self.tracer
+        if tracer is not None:
+            # The channel is the transport boundary: record the device's
+            # completion here (the fronted sink skips its own record) and
+            # the upload's planned fate.  Pure appends — no draws, no
+            # kernel events — so the traced run stays byte-identical.
+            tracer.record_device(
+                self.task_id,
+                outcome.device_id,
+                outcome.grade,
+                outcome.round_index,
+                outcome.n_samples,
+                outcome.payload_bytes,
+                t0,
+            )
         if plan.arrival is None:
             self.round.abandoned += 1
+            if tracer is not None:
+                tracer.record_upload(
+                    self.task_id, outcome.device_id, outcome.round_index,
+                    t0, None, plan.retries, False, "abandoned",
+                )
             return
         if self._deadline is not None and plan.arrival >= self._deadline:
             # Late primaries are dropped before duplication: a copy of a
             # late upload would be deduplicated against nothing.
             self.round.late_drops += 1
+            if tracer is not None:
+                tracer.record_upload(
+                    self.task_id, outcome.device_id, outcome.round_index,
+                    t0, plan.arrival, plan.retries, False, "late",
+                )
             return
         self.round.delivered += 1
+        if tracer is not None:
+            tracer.record_upload(
+                self.task_id, outcome.device_id, outcome.round_index,
+                t0, plan.arrival, plan.retries, plan.duplicate, "delivered",
+            )
         self._schedule(plan.arrival, outcome)
         if plan.duplicate:
             self.round.duplicates += 1

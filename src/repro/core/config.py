@@ -4,12 +4,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.cloud.transport import ChannelModel
 from repro.cluster.cost import LogicalCostModel
 from repro.cluster.resources import NodeSpec, ResourceBundle
 from repro.phones.cost import PhysicalCostModel
 from repro.phones.specs import DEFAULT_LOCAL_FLEET, DEFAULT_MSP_FLEET, PhoneSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.tracing import Tracer
 
 
 @dataclass
@@ -75,6 +79,11 @@ class PlatformConfig:
     #: ingestion (loss, retries, duplication, outages).  ``None`` keeps
     #: the ideal lossless exactly-once uplink.
     channel: ChannelModel | None = None
+    #: Optional :class:`~repro.observability.tracing.Tracer` capturing
+    #: span records from every task, sink, channel, flow and phone tier.
+    #: ``None`` (default) compiles every instrumentation point down to a
+    #: skipped ``if`` — zero cost, byte-identical runs.
+    tracer: Tracer | None = None
 
     def __post_init__(self) -> None:
         if not self.cluster_nodes:

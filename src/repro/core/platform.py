@@ -73,7 +73,10 @@ class SimDC:
         )
         self.phones.extend(self.msp.provision())
         self.deviceflow = DeviceFlow(
-            self.sim, streams=self.streams, capacity_per_second=self.config.deviceflow_capacity
+            self.sim,
+            streams=self.streams,
+            capacity_per_second=self.config.deviceflow_capacity,
+            tracer=self.config.tracer,
         )
         self.resource_manager = ResourceManager(
             self.cluster, self.phones, unit_bundle=self.config.unit_bundle
@@ -214,4 +217,5 @@ class SimDC:
             cloud_blocks=self.config.cloud_blocks,
             channel=self.config.channel,
             channel_scope=options.get("channel_scope", ""),
+            tracer=self.config.tracer,
         )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.deviceflow.dispatcher import Dispatcher
 from repro.deviceflow.messages import Message, MessageBlock
@@ -11,6 +12,9 @@ from repro.deviceflow.shelf import Shelf
 from repro.deviceflow.sorter import Sorter
 from repro.deviceflow.strategy import DispatchStrategy
 from repro.simkernel import RandomStreams, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.tracing import Tracer
 
 
 @dataclass
@@ -48,6 +52,11 @@ class DeviceFlow:
     capacity_per_second:
         Single-threaded transmission capacity of each dispatcher (the
         paper's example: 700 messages per second).
+    tracer:
+        Optional :class:`~repro.observability.tracing.Tracer`: shelve
+        times are recorded at submission and delivery times by wrapping
+        each task's downstream endpoint.  Recording is append-only and
+        draws nothing, so traced flows stay byte-identical.
     """
 
     def __init__(
@@ -55,10 +64,12 @@ class DeviceFlow:
         sim: Simulator,
         streams: RandomStreams | None = None,
         capacity_per_second: float = 700.0,
+        tracer: Tracer | None = None,
     ) -> None:
         self.sim = sim
         self.streams = streams or RandomStreams(0)
         self.capacity_per_second = float(capacity_per_second)
+        self.tracer = tracer
         self.sorter = Sorter()
         self._dispatchers: dict[str, Dispatcher] = {}
         self._received: dict[str, int] = {}
@@ -76,6 +87,16 @@ class DeviceFlow:
         """Create the task's shelf + dispatcher; returns the dispatcher."""
         if task_id in self._dispatchers:
             raise ValueError(f"task {task_id!r} already registered with DeviceFlow")
+        if self.tracer is not None:
+            tracer, sim, inner = self.tracer, self.sim, downstream
+
+            def traced_downstream(message: Message) -> None:
+                tracer.record_flow_delivery(
+                    message.task_id, message.device_id, message.round_index, sim.now
+                )
+                inner(message)
+
+            downstream = traced_downstream
         shelf = Shelf(task_id)
         self.sorter.register_shelf(shelf)
         dispatcher = Dispatcher(
@@ -140,6 +161,10 @@ class DeviceFlow:
         """Accept a message from a compute tier (stamps arrival time)."""
         dispatcher = self._require(message.task_id)
         message.created_at = self.sim.now
+        if self.tracer is not None:
+            self.tracer.record_flow_submit(
+                message.task_id, message.device_id, message.round_index, self.sim.now
+            )
         self.sorter.route(message)
         self._received[message.task_id] += 1
         dispatcher.on_message(message)
@@ -160,6 +185,11 @@ class DeviceFlow:
         dispatcher = self._require(block.task_id)
         block.created_at = self.sim.now
         messages = block.messages(created_at=self.sim.now)
+        if self.tracer is not None:
+            for message in messages:
+                self.tracer.record_flow_submit(
+                    message.task_id, message.device_id, message.round_index, self.sim.now
+                )
         self.sorter.route_block(block.task_id, messages)
         self._received[block.task_id] += len(messages)
         dispatcher.on_block(len(messages))

@@ -18,6 +18,15 @@ stream *while the simulation runs*:
 Everything lives on the simulated clock, so alarm histories, SLA
 verdicts and scaling actions are deterministic and bit-identical between
 the batched and legacy event loops.
+
+PR 10 adds the *post-hoc* observability layer:
+
+* :class:`Tracer` / :func:`assemble_trace` — deterministic per-task span
+  trees (submit → queue → dispatch → device waves → transport → ingest →
+  fold) with Chrome/Perfetto and JSONL exporters
+  (:mod:`repro.observability.export`);
+* :class:`RunProfiler` — real wall-clock accounting per simulator
+  subsystem, behind ``python -m repro.scenarios run --profile``.
 """
 
 from repro.observability.alarms import (
@@ -29,6 +38,13 @@ from repro.observability.alarms import (
     signal_exists,
 )
 from repro.observability.autoscale import AutoscalePolicy, AutoscaleSpec
+from repro.observability.export import (
+    chrome_trace,
+    spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.observability.profiler import PROFILE_POINTS, HotspotRow, RunProfiler
 from repro.observability.sla import (
     SLASpec,
     attach_live_slas,
@@ -36,19 +52,38 @@ from repro.observability.sla import (
     known_metrics,
     metric_value,
 )
+from repro.observability.tracing import (
+    SPAN_KINDS,
+    Span,
+    Trace,
+    Tracer,
+    assemble_trace,
+)
 
 __all__ = [
     "GAUGE_SIGNALS",
+    "PROFILE_POINTS",
     "SERIES_SIGNALS",
     "SEVERITIES",
+    "SPAN_KINDS",
     "AlarmEngine",
     "AlarmRule",
     "AutoscalePolicy",
     "AutoscaleSpec",
+    "HotspotRow",
+    "RunProfiler",
     "SLASpec",
+    "Span",
+    "Trace",
+    "Tracer",
+    "assemble_trace",
     "attach_live_slas",
+    "chrome_trace",
     "evaluate_slas",
     "known_metrics",
     "metric_value",
     "signal_exists",
+    "spans_jsonl",
+    "write_chrome_trace",
+    "write_spans_jsonl",
 ]

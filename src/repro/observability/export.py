@@ -1,0 +1,152 @@
+"""Trace exporters: Chrome trace-event (Perfetto-loadable) JSON + JSONL.
+
+Two serializations of one :class:`~repro.observability.tracing.Trace`:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``{"traceEvents": [...]}``) that both
+  ``chrome://tracing`` and https://ui.perfetto.dev open directly.  Each
+  task becomes a *process* (pid) and each device a *thread* (tid) inside
+  it, so the timeline reads as "task lanes containing device lanes";
+  task-level spans (queue wait, dispatch, rounds, waves, aggregation)
+  ride on a dedicated lifecycle lane (tid 0).  Durations use ``"ph":
+  "X"`` complete events; ingest drops and aggregation folds render as
+  instants.  Timestamps are simulated seconds scaled to the format's
+  microseconds.
+* :func:`spans_jsonl` / :func:`write_spans_jsonl` — one span per line as
+  sorted-key JSON, the archival/diffable form (byte-identical across
+  runs for byte-identical traces).
+
+Both renderings are deterministic: ordering comes from the trace's own
+``(start, span_id)`` sort plus sorted pid/tid assignment, never from
+dict iteration over runtime state.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.tracing import Span, Trace
+
+#: Span kinds rendered as zero-duration instant events ("ph": "i").
+_INSTANT_KINDS = frozenset({"ingest_drop", "aggregate"})
+
+#: Scale from simulated seconds to trace-event microseconds.
+_US = 1_000_000.0
+
+
+def _task_of(span: Span) -> str:
+    return str(span.attrs.get("task", span.span_id.split("/", 1)[0].removeprefix("t:")))
+
+
+def _device_of(span: Span) -> str | None:
+    device = span.attrs.get("device")
+    return None if device is None else str(device)
+
+
+def chrome_trace(trace: Trace) -> dict[str, Any]:
+    """Render a trace as a Chrome trace-event / Perfetto JSON object."""
+    tasks = sorted({_task_of(span) for span in trace.spans})
+    pid_of = {task: index + 1 for index, task in enumerate(tasks)}
+    lanes = sorted(
+        {
+            (_task_of(span), _device_of(span))
+            for span in trace.spans
+            if _device_of(span) is not None
+        }
+    )
+    tid_of: dict[tuple[str, str], int] = {}
+    next_tid: dict[str, int] = {}
+    for task, device in lanes:
+        tid_of[(task, device)] = next_tid.get(task, 1)
+        next_tid[task] = tid_of[(task, device)] + 1
+
+    events: list[dict[str, Any]] = []
+    for task in tasks:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid_of[task],
+                "tid": 0,
+                "args": {"name": f"task {task}"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid_of[task],
+                "tid": 0,
+                "args": {"name": "lifecycle"},
+            }
+        )
+    for task, device in lanes:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid_of[task],
+                "tid": tid_of[(task, device)],
+                "args": {"name": device},
+            }
+        )
+
+    for span in trace.spans:
+        task = _task_of(span)
+        device = _device_of(span)
+        tid = tid_of[(task, device)] if device is not None else 0
+        event: dict[str, Any] = {
+            "name": span.name,
+            "cat": span.kind,
+            "pid": pid_of[task],
+            "tid": tid,
+            "ts": span.start * _US,
+            "args": dict(sorted(span.attrs.items(), key=lambda kv: kv[0])),
+        }
+        if span.kind in _INSTANT_KINDS:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = span.duration * _US
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_name": trace.name, "clock": "simulated"},
+    }
+
+
+def write_chrome_trace(trace: Trace, path: str | Path) -> Path:
+    """Write the Perfetto-loadable JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(chrome_trace(trace), sort_keys=True, separators=(",", ":")) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def spans_jsonl(trace: Trace) -> str:
+    """One sorted-key JSON object per span, one span per line."""
+    return "\n".join(
+        json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+        for span in trace.spans
+    )
+
+
+def write_spans_jsonl(trace: Trace, path: str | Path) -> Path:
+    """Write the JSONL span dump; returns the path written."""
+    path = Path(path)
+    text = spans_jsonl(trace)
+    path.write_text(text + "\n" if text else "", encoding="utf-8")
+    return path
+
+
+def read_spans_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL span dump back into span dicts (archival round-trip)."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines if line.strip()]

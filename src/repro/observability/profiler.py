@@ -1,0 +1,204 @@
+"""RunProfiler: wall-clock accounting per simulator subsystem.
+
+The ROADMAP's next scaling steps (whole-platform sharding, the 1M-device
+milestone) need the *measured* bottleneck, not the guessed one.  This
+profiler patches a fixed set of synchronous hot-path methods — kernel
+stepping, wave scheduling, numeric block execution, transport routing,
+cloud ingestion, aggregation folds, alarm evaluation — and accounts real
+``perf_counter`` time to each, with *self time* (a method's elapsed time
+minus the profiled calls it made) attributed via an enter/exit stack so
+nested hooks (``step_batch`` → ``_route`` → ``accept``) never
+double-count.
+
+Patching is class-level, so one attached profiler observes every
+instance created while it is active — attach *before* building the
+platform, detach (or use the context manager) when done.  Detaching
+restores the original functions exactly; nothing in this module runs
+when no profiler is attached, keeping the zero-cost-when-off contract.
+
+Usage::
+
+    profiler = RunProfiler()
+    with profiler:
+        report = ScenarioRunner(spec).run()
+    print(profiler.table())
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Callable
+from dataclasses import dataclass
+from importlib import import_module
+from time import perf_counter
+from typing import Any
+
+#: The profiled subsystem hooks: (module, class, method, category).
+#: Every target is a plain synchronous method (never a generator — timing
+#: a generator function would measure only its instantiation).
+PROFILE_POINTS: tuple[tuple[str, str, str, str], ...] = (
+    ("repro.simkernel.simulator", "Simulator", "step", "kernel.step"),
+    ("repro.simkernel.simulator", "Simulator", "step_batch", "kernel.step_batch"),
+    ("repro.cluster.runner", "LogicalSimulation", "_register_batched_plan", "logical.wave_schedule"),
+    ("repro.cluster.runner", "LogicalSimulation", "_execute_numeric_waves", "logical.numeric_block"),
+    ("repro.phones.phonemgr", "PhoneMgr", "_register_batched_plan", "phones.wave_schedule"),
+    ("repro.phones.phonemgr", "PhoneMgr", "_sampler_tick", "phones.sampler"),
+    ("repro.cloud.transport", "TransportChannel", "_route", "transport.route"),
+    ("repro.cloud.sink", "CloudIngestSink", "accept", "cloud.ingest_scalar"),
+    ("repro.cloud.sink", "CloudIngestSink", "accept_block", "cloud.ingest_block"),
+    ("repro.cloud.aggregation", "AggregationService", "receive_message", "cloud.receive_message"),
+    ("repro.cloud.aggregation", "AggregationService", "receive_block", "cloud.receive_block"),
+    ("repro.cloud.aggregation", "AggregationService", "aggregate_now", "cloud.fold"),
+    ("repro.observability.alarms", "AlarmEngine", "_on_event", "observability.alarms"),
+)
+
+
+@dataclass
+class HotspotRow:
+    """One subsystem's accumulated wall-clock accounting."""
+
+    category: str
+    calls: int
+    total_s: float
+    self_s: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "category": self.category,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+        }
+
+
+class RunProfiler:
+    """Patch-based wall-clock profiler over :data:`PROFILE_POINTS`.
+
+    Self-time semantics: when a profiled method calls another profiled
+    method, the callee's elapsed time is subtracted from the caller's
+    self time (the enter/exit stack carries child totals upward), so the
+    ``self_s`` column sums to at most the run's wall clock and names the
+    subsystem actually burning the time.
+    """
+
+    def __init__(self) -> None:
+        #: category -> [calls, total_s, self_s]
+        self._stats: dict[str, list[float]] = {}
+        #: live call stack: [category, accumulated_child_seconds]
+        self._stack: list[list] = []
+        self._originals: list[tuple[type, str, Callable]] = []
+        self._sections: dict[str, list[float]] = {}
+
+    @property
+    def attached(self) -> bool:
+        return bool(self._originals)
+
+    # ------------------------------------------------------------------
+    def _wrap(self, func: Callable, category: str) -> Callable:
+        profiler = self
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            stack = profiler._stack
+            stack.append([category, 0.0])
+            start = perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                elapsed = perf_counter() - start
+                frame = stack.pop()
+                record = profiler._stats.setdefault(category, [0, 0.0, 0.0])
+                record[0] += 1
+                record[1] += elapsed
+                record[2] += elapsed - frame[1]
+                if stack:
+                    stack[-1][1] += elapsed
+
+        wrapper.__profiled_original__ = func
+        return wrapper
+
+    def attach(self) -> RunProfiler:
+        """Patch every profile point; idempotence guarded."""
+        if self._originals:
+            raise RuntimeError("profiler is already attached")
+        try:
+            for module_name, class_name, method_name, category in PROFILE_POINTS:
+                cls = getattr(import_module(module_name), class_name)
+                original = getattr(cls, method_name)
+                if hasattr(original, "__profiled_original__"):
+                    raise RuntimeError(
+                        f"{class_name}.{method_name} is already profiled "
+                        f"(another RunProfiler is attached)"
+                    )
+                setattr(cls, method_name, self._wrap(original, category))
+                self._originals.append((cls, method_name, original))
+        except Exception:
+            self.detach()
+            raise
+        return self
+
+    def detach(self) -> None:
+        """Restore every patched method (safe to call when detached)."""
+        for cls, method_name, original in self._originals:
+            setattr(cls, method_name, original)
+        self._originals = []
+        self._stack = []
+
+    def __enter__(self) -> RunProfiler:
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def section(self, name: str):
+        """Manually time a named non-patched block (e.g. report build)."""
+        profiler = self
+
+        class _Section:
+            def __enter__(self) -> None:
+                self._start = perf_counter()
+
+            def __exit__(self, *exc_info) -> None:
+                elapsed = perf_counter() - self._start
+                record = profiler._sections.setdefault(name, [0, 0.0])
+                record[0] += 1
+                record[1] += elapsed
+
+        return _Section()
+
+    # ------------------------------------------------------------------
+    def rows(self) -> list[HotspotRow]:
+        """Hotspots ranked by self time, descending (ties by name)."""
+        rows = [
+            HotspotRow(category, int(calls), total, self_s)
+            for category, (calls, total, self_s) in self._stats.items()
+        ]
+        for name, (calls, total) in self._sections.items():
+            rows.append(HotspotRow(f"section.{name}", int(calls), total, total))
+        rows.sort(key=lambda row: (-row.self_s, row.category))
+        return rows
+
+    def table(self, wall_s: float | None = None) -> str:
+        """The ranked hotspot table as printable text."""
+        rows = self.rows()
+        accounted = sum(row.self_s for row in rows)
+        total = wall_s if wall_s is not None else accounted
+        lines = [
+            f"{'#':>3} {'subsystem':<26} {'calls':>9} {'total s':>9} "
+            f"{'self s':>9} {'self %':>7}"
+        ]
+        for rank, row in enumerate(rows, start=1):
+            share = (row.self_s / total * 100.0) if total > 0 else 0.0
+            lines.append(
+                f"{rank:>3} {row.category:<26} {row.calls:>9} {row.total_s:>9.3f} "
+                f"{row.self_s:>9.3f} {share:>6.1f}%"
+            )
+        lines.append(
+            f"    {'accounted':<26} {'':>9} {'':>9} {accounted:>9.3f}"
+            + (f" of {total:.3f}s wall" if wall_s is not None else "")
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"hotspots": [row.to_dict() for row in self.rows()]}

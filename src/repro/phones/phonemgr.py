@@ -37,6 +37,7 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from itertools import chain
 from collections.abc import Callable, Generator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -59,6 +60,9 @@ from repro.phones.metrics import (
 )
 from repro.phones.phone import VirtualPhone
 from repro.simkernel import AllOf, RandomStreams, RecurringTimeout, Signal, Simulator, Timeout, TimeoutPool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.tracing import Tracer
 
 
 @dataclass
@@ -197,6 +201,7 @@ class PhoneMgr:
         on_sample: Callable[[DeviceMetricSample], None] | None = None,
         busy_registry: set[str] | None = None,
         batch: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
@@ -209,6 +214,8 @@ class PhoneMgr:
         self.poll_interval = float(poll_interval)
         self.on_sample = on_sample
         self.batch = batch
+        self.tracer = tracer
+        self._task_id = "task"
         self.plans: list[PhoneAssignment] = []
         self.computing_phones: dict[str, list[VirtualPhone]] = {}
         self.benchmark_phones: dict[str, list[VirtualPhone]] = {}
@@ -275,6 +282,7 @@ class PhoneMgr:
         """
         if self.plans:
             raise RuntimeError("PhoneMgr already has a prepared task")
+        self._task_id = task_id
         self.plans = list(plans)
         startup_targets: list[tuple[VirtualPhone, str]] = []
         reserved: list[VirtualPhone] = []
@@ -738,6 +746,18 @@ class PhoneMgr:
             # boundary instead of at the nearest polling tick.
             self._record_sample(phone, record)
             record.boundaries.append((stage, start, self.sim.now))
+            if self.tracer is not None:
+                # Benchmark phones stream identically in both execution
+                # modes, so these spans are byte-identical batched/legacy.
+                self.tracer.record_bench_stage(
+                    self._task_id,
+                    phone.serial,
+                    assignment.device_id,
+                    round_index,
+                    stage.label,
+                    start,
+                    self.sim.now,
+                )
 
         # Stage 1: clear background, APK not running.
         yield from self._control_latency(phone)

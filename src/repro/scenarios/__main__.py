@@ -9,13 +9,17 @@ Examples::
     python -m repro.scenarios list
     python -m repro.scenarios show flash_crowd --scale 500
     python -m repro.scenarios run diurnal_multitenant --scale 2000
-    python -m repro.scenarios run flaky_fleet --seed 3 --json report.json
+    python -m repro.scenarios run flaky_fleet --seed 3 --report-json report.json
     python -m repro.scenarios run autoscale_flash_crowd --sla
+    python -m repro.scenarios run lossy_uplink --trace-out trace.json --profile
     python -m repro.scenarios run path/to/spec.yaml --sla
 
 With ``--sla`` the exit code becomes part of the contract: 0 when every
 service-level objective in the scenario holds against the final report,
-2 when any is violated (CI gates on it).
+2 when any is violated (CI gates on it).  ``--trace-out`` writes a
+Chrome/Perfetto-loadable span timeline of the run (``--trace-jsonl`` the
+archival one-span-per-line dump), and ``--profile`` prints a ranked
+wall-clock hotspot table over the simulator's subsystems.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.scenarios.engine import run_scenario
+from repro.scenarios.engine import ScenarioRunner
 from repro.scenarios.library import SCENARIOS, build_scenario
 from repro.scenarios.spec import ScenarioSpec
 
@@ -97,20 +101,48 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.observability.tracing import Tracer
+
     spec = _load_spec(args)
     if args.legacy:
         spec.batch = False
+    tracing = args.trace_out is not None or args.trace_jsonl is not None
+    tracer = Tracer() if tracing else None
+    runner = ScenarioRunner(spec, tracer=tracer)
+    profiler = None
+    if args.profile:
+        from repro.observability.profiler import RunProfiler
+
+        profiler = RunProfiler().attach()
     wall_start = time.perf_counter()
-    report = run_scenario(spec)
-    wall = time.perf_counter() - wall_start
+    try:
+        report = runner.run()
+    finally:
+        wall = time.perf_counter() - wall_start
+        if profiler is not None:
+            profiler.detach()
     for line in report.summary_lines():
         print(line)
     print(f"  wall time: {wall:.2f}s")
-    if args.json is not None:
-        args.json.write_text(
+    if args.report_json is not None:
+        args.report_json.write_text(
             json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
-        print(f"  report written to {args.json}")
+        print(f"  report written to {args.report_json}")
+    if tracing:
+        from repro.observability.export import write_chrome_trace, write_spans_jsonl
+
+        trace = runner.trace()
+        print(f"  trace: {len(trace)} spans")
+        if args.trace_out is not None:
+            write_chrome_trace(trace, args.trace_out)
+            print(f"  Perfetto trace written to {args.trace_out}")
+        if args.trace_jsonl is not None:
+            write_spans_jsonl(trace, args.trace_jsonl)
+            print(f"  span dump written to {args.trace_jsonl}")
+    if profiler is not None:
+        print("profiler hotspots (wall-clock, self time ranked):")
+        print(profiler.table(wall_s=wall))
     if args.sla and not report.sla_ok:
         violated = report.sla_violations()
         print(
@@ -144,7 +176,31 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument(
         "--legacy", action="store_true", help="per-device generator path (slow, bit-identical)"
     )
-    run.add_argument("--json", type=Path, default=None, help="also write the report as JSON")
+    run.add_argument(
+        "--report-json",
+        "--json",  # legacy alias
+        dest="report_json",
+        type=Path,
+        default=None,
+        help="also write the full ScenarioReport as JSON",
+    )
+    run.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write a Chrome/Perfetto trace-event JSON of the run",
+    )
+    run.add_argument(
+        "--trace-jsonl",
+        type=Path,
+        default=None,
+        help="write the span tree as JSONL (one span per line)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a ranked wall-clock hotspot table per simulator subsystem",
+    )
     run.add_argument(
         "--sla",
         action="store_true",

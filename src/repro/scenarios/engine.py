@@ -21,6 +21,7 @@ from repro.cluster.resources import NodeSpec
 from repro.core.config import PlatformConfig
 from repro.core.platform import SimDC
 from repro.observability import AlarmEngine, AutoscalePolicy, attach_live_slas
+from repro.observability.tracing import Trace, Tracer, assemble_trace
 from repro.phones.cost import PhysicalCostModel
 from repro.phones.specs import DEFAULT_LOCAL_FLEET, build_fleet
 from repro.scenarios.kpis import ScenarioReport, build_report
@@ -162,6 +163,11 @@ class ScenarioRunner:
         Optional override of the cloud-tier ingestion granularity (see
         :class:`~repro.core.config.PlatformConfig`); ``None`` follows
         ``batch``.
+    tracer:
+        Optional :class:`~repro.observability.tracing.Tracer` armed on
+        the platform; after :meth:`run`, :meth:`trace` assembles the
+        run's span tree.  ``None`` (default) keeps every instrumentation
+        point compiled down to a skipped ``if``.
     """
 
     def __init__(
@@ -169,10 +175,12 @@ class ScenarioRunner:
         spec: ScenarioSpec,
         batch: bool | None = None,
         cloud_blocks: bool | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.spec = spec
         self.batch = spec.batch if batch is None else bool(batch)
         self.cloud_blocks = cloud_blocks
+        self.tracer = tracer
         self.platform = self._build_platform()
         self.faults = FaultInjector(self.platform)
         #: tenant name -> [(task_id, submit_time)] ledger for the report.
@@ -251,6 +259,7 @@ class ScenarioRunner:
             batch=self.batch,
             cloud_blocks=self.cloud_blocks,
             channel=self._build_channel(),
+            tracer=self.tracer,
         )
         return SimDC(config)
 
@@ -323,11 +332,26 @@ class ScenarioRunner:
             autoscaler=self.autoscaler,
         )
 
+    def trace(self) -> Trace:
+        """Assemble the run's span tree (requires a tracer to be armed)."""
+        if self.tracer is None:
+            raise RuntimeError(
+                "no tracer armed: construct the runner with "
+                "ScenarioRunner(spec, tracer=Tracer())"
+            )
+        return assemble_trace(
+            self.platform.monitor,
+            self.tracer,
+            name=self.spec.name,
+            tenant_of=self._tenant_of_task,
+        )
+
 
 def run_scenario(
     spec: ScenarioSpec,
     batch: bool | None = None,
     cloud_blocks: bool | None = None,
+    tracer: Tracer | None = None,
 ) -> ScenarioReport:
     """One-call convenience: build, replay, report."""
-    return ScenarioRunner(spec, batch=batch, cloud_blocks=cloud_blocks).run()
+    return ScenarioRunner(spec, batch=batch, cloud_blocks=cloud_blocks, tracer=tracer).run()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Generator
+from typing import TYPE_CHECKING
 
 from repro.cloud.aggregation import AggregationRecord, AggregationService, AggregationTrigger
 from repro.cloud.database import MetricsDatabase
@@ -47,6 +48,9 @@ from repro.scheduler.allocation import (
 )
 from repro.scheduler.task import TaskSpec, TaskState
 from repro.simkernel import AllOf, RandomStreams, Simulator, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.tracing import Tracer
 
 
 @dataclass
@@ -134,6 +138,7 @@ class TaskRunner:
         cloud_blocks: bool | None = None,
         channel: ChannelModel | None = None,
         channel_scope: str = "",
+        tracer: Tracer | None = None,
     ) -> None:
         self.sim = sim
         self.spec = spec
@@ -151,6 +156,7 @@ class TaskRunner:
         self.cloud_blocks = batch if cloud_blocks is None else bool(cloud_blocks)
         self.channel = channel
         self.channel_scope = channel_scope
+        self.tracer = tracer
         self._sink: CloudIngestSink | None = None
         self._channel: TransportChannel | None = None
         self._open_round: int | None = None
@@ -164,6 +170,7 @@ class TaskRunner:
             busy_registry=busy_registry,
             on_sample=self._store_sample if db is not None else None,
             batch=batch,
+            tracer=tracer,
         )
         self.service: AggregationService | None = None
         self.result: TaskResult | None = None
@@ -196,6 +203,10 @@ class TaskRunner:
                 deviceflow=self.deviceflow if uses_flow else None,
                 prefer_blocks=self.cloud_blocks,
                 dedup=channel_active,
+                tracer=self.tracer,
+                # With a channel fronting the sink, device completions
+                # are recorded at the transport boundary instead.
+                trace_devices=not channel_active,
             )
             if channel_active:
                 self._channel = TransportChannel(
@@ -205,6 +216,7 @@ class TaskRunner:
                     self.streams,
                     spec.task_id,
                     scope=self.channel_scope,
+                    tracer=self.tracer,
                 )
             if uses_flow:
                 downstream = (
@@ -390,6 +402,8 @@ class TaskRunner:
     def _run_round(self, round_index: int, model_bytes: int, uses_flow: bool) -> Generator:
         spec = self.spec
         assert self.service is not None and self._sink is not None
+        if self.tracer is not None:
+            self.tracer.record_round_start(spec.task_id, round_index, self.sim.now)
         if uses_flow:
             self.deviceflow.round_started(spec.task_id, round_index)
         model = self.service.model
@@ -462,6 +476,16 @@ class TaskRunner:
                 n_devices=spec.total_devices,
                 test_accuracy=record.test_accuracy,
             )
+            if self.tracer is not None:
+                self.tracer.record_fold(
+                    spec.task_id,
+                    round_index,
+                    self.sim.now,
+                    record.n_updates,
+                    record.test_accuracy,
+                )
+        if self.tracer is not None:
+            self.tracer.record_round_end(spec.task_id, round_index, self.sim.now)
 
     def _await_deliveries(self) -> Generator:
         """Block until DeviceFlow has delivered or dropped everything.

@@ -382,3 +382,86 @@ class TestMonitor:
         monitor.unsubscribe(cb)
         monitor.log("two")
         assert seen == ["one"]
+
+    def test_slice_of_view_is_a_view(self):
+        """Slicing an EventsView chains views instead of copying lists."""
+        from repro.cloud.monitor import EventsView
+
+        sim = Simulator()
+        monitor = Monitor(sim)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.schedule(t, lambda when=t: monitor.log("tick", value=when))
+        sim.run()
+        view = monitor.of_kind("tick")
+        sliced = view[1:3]
+        assert isinstance(sliced, EventsView)
+        assert [e.fields["value"] for e in sliced] == [2.0, 3.0]
+        # Chained slicing stays a view; indexing still yields events.
+        assert isinstance(sliced[:1], EventsView)
+        assert sliced[:1][0].fields["value"] == 2.0
+        # A sliced snapshot is detached from the live bucket.
+        monitor.log("tick", value=5.0)
+        assert len(view) == 5
+        assert len(sliced) == 2
+
+    def test_view_between_bisects_time_window(self):
+        sim = Simulator()
+        monitor = Monitor(sim)
+        for t in (1.0, 2.0, 2.0, 3.0, 5.0):
+            sim.schedule(t, lambda when=t: monitor.log("tick", value=when))
+        sim.run()
+        view = monitor.of_kind("tick")
+        # Bounds are inclusive and duplicates at a boundary all land inside.
+        assert [e.time for e in view.between(2.0, 3.0)] == [2.0, 2.0, 3.0]
+        assert [e.time for e in view.between(1.5, 4.0)] == [2.0, 2.0, 3.0]
+        assert list(view.between(6.0, 9.0)) == []
+        # Matches the naive full-scan semantics of Monitor.between.
+        assert list(view.between(0.0, 5.0)) == monitor.between(0.0, 5.0)
+        # between on a slice composes (the window re-bisects the snapshot).
+        assert [e.time for e in view[1:].between(2.0, 3.0)] == [2.0, 2.0, 3.0]
+
+    def test_count_kind_is_counter_backed(self):
+        monitor = Monitor(Simulator())
+        assert monitor.count_kind("ghost") == 0
+        for _ in range(3):
+            monitor.log("tick")
+        monitor.log("tock")
+        assert monitor.count_kind("tick") == 3
+        assert monitor.count_kind("tock") == 1
+        assert monitor.count_kind("tick") == len(monitor.of_kind("tick"))
+
+    def test_reentrant_unsubscribe_during_dispatch(self):
+        """A subscriber removing itself mid-dispatch must not starve peers."""
+        monitor = Monitor(Simulator())
+        seen = []
+
+        def one_shot(event):
+            seen.append(("one_shot", event.kind))
+            monitor.unsubscribe(one_shot)
+
+        monitor.subscribe(one_shot)
+        monitor.subscribe(lambda e: seen.append(("steady", e.kind)))
+        monitor.log("first")
+        monitor.log("second")
+        # one_shot fired exactly once; the later subscriber was dispatched
+        # for the same event even though the list shifted under the loop.
+        assert seen == [("one_shot", "first"), ("steady", "first"), ("steady", "second")]
+
+    def test_reentrant_subscribe_during_dispatch(self):
+        """A subscriber added mid-dispatch sees the *next* event, not this one."""
+        monitor = Monitor(Simulator())
+        seen = []
+
+        def recruiter(event):
+            seen.append(("recruiter", event.kind))
+            if event.kind == "first":
+                monitor.subscribe(lambda e: seen.append(("recruit", e.kind)))
+
+        monitor.subscribe(recruiter)
+        monitor.log("first")
+        monitor.log("second")
+        assert seen == [
+            ("recruiter", "first"),
+            ("recruiter", "second"),
+            ("recruit", "second"),
+        ]

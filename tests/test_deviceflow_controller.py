@@ -33,7 +33,7 @@ class TestMessage:
             Message(task_id="", device_id="d", round_index=1, payload_ref="x")
         with pytest.raises(ValueError):
             msg(n_samples=0)
-        bad = dict(task_id="t", device_id="d", round_index=1, payload_ref="x", size_bytes=-1)
+        bad = {"task_id": "t", "device_id": "d", "round_index": 1, "payload_ref": "x", "size_bytes": -1}
         with pytest.raises(ValueError):
             Message(**bad)
 

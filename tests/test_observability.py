@@ -351,12 +351,12 @@ class TestSLA:
 # ----------------------------------------------------------------------
 def autoscale_scenario(**overrides) -> ScenarioSpec:
     """An undersized cluster + burst that must trip the autoscaler."""
-    defaults = dict(
-        name="as-test",
-        seed=0,
-        horizon_s=900.0,
-        cluster_nodes=1,  # 20 bundles
-        tenants=[
+    defaults = {
+        "name": "as-test",
+        "seed": 0,
+        "horizon_s": 900.0,
+        "cluster_nodes": 1,  # 20 bundles
+        "tenants": [
             TenantSpec(
                 name="burst",
                 grades=[GradeSpec(grade="High", n_devices=4, bundles=10)],
@@ -364,13 +364,13 @@ def autoscale_scenario(**overrides) -> ScenarioSpec:
                 dispatch=DispatchSpec(kind="realtime", thresholds=[1], failure_prob=0.0),
             ),
         ],
-        alarms=[
+        "alarms": [
             AlarmRule(name="pressure", signal="queue_depth", warn=3.0, clear=1.0,
                       min_hold_s=5.0),
         ],
-        autoscale=AutoscaleSpec(alarm="pressure", step=1, max_extra_nodes=3,
+        "autoscale": AutoscaleSpec(alarm="pressure", step=1, max_extra_nodes=3,
                                 cooldown_s=30.0),
-    )
+    }
     defaults.update(overrides)
     return ScenarioSpec(**defaults)
 

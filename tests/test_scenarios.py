@@ -32,12 +32,12 @@ from repro.simkernel import RandomStreams
 
 def tiny_scenario(**overrides) -> ScenarioSpec:
     """A fast two-tenant scenario the fault/determinism tests perturb."""
-    defaults = dict(
-        name="tiny",
-        seed=0,
-        horizon_s=600.0,
-        cluster_nodes=2,  # 40 bundles
-        tenants=[
+    defaults = {
+        "name": "tiny",
+        "seed": 0,
+        "horizon_s": 600.0,
+        "cluster_nodes": 2,  # 40 bundles
+        "tenants": [
             TenantSpec(
                 name="alpha",
                 priority=5,
@@ -56,7 +56,7 @@ def tiny_scenario(**overrides) -> ScenarioSpec:
                 arrival=ArrivalSpec(kind="poisson", count=2, rate_per_hour=30.0),
             ),
         ],
-    )
+    }
     defaults.update(overrides)
     return ScenarioSpec(**defaults)
 
@@ -354,7 +354,7 @@ class TestFaultInjection:
         entry can be popped, so the fix tracks active windows by object
         identity.  Each restore must drop one (and only one) window.
         """
-        window = dict(kind="network_degradation", at=10.0, until=100.0, factor=0.5)
+        window = {"kind": "network_degradation", "at": 10.0, "until": 100.0, "factor": 0.5}
         spec = tiny_scenario(
             faults=[FaultSpec(**window), FaultSpec(**window)]
         )

@@ -1,0 +1,302 @@
+"""Tests for the tracing layer, exporters, profiler and their CLI flags.
+
+The contracts proved here are the PR's acceptance criteria:
+
+* recording is invisible — a traced run's report is byte-identical to
+  the untraced one (the tracer never touches a random stream or the
+  event queue);
+* span trees are execution-order independent — the batched and legacy
+  paths assemble byte-identical traces (stable ``(task, round,
+  device)``-keyed span ids);
+* the trace *reconciles* with the report — under a lossy channel the
+  upload/drop spans sum exactly to the transport KPI totals;
+* exports are well-formed (Chrome trace-event JSON, JSONL round-trip);
+* the profiler patches and restores subsystem methods exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.observability.export import (
+    chrome_trace,
+    read_spans_jsonl,
+    spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.observability.profiler import PROFILE_POINTS, RunProfiler
+from repro.observability.tracing import SPAN_KINDS, Span, Trace, Tracer
+from repro.scenarios import ScenarioRunner, build_scenario
+from repro.scenarios.__main__ import main as scenarios_main
+
+
+def traced_run(name: str, scale: int = 60, seed: int = 1, batch: bool = True):
+    """Run a library scenario with a tracer armed.
+
+    Returns ``(runner, report, trace)`` — the runner gives tests access
+    to the per-task :class:`TaskResult` ledger on the platform.
+    """
+    spec = build_scenario(name, scale=scale, seed=seed)
+    runner = ScenarioRunner(spec, batch=batch, tracer=Tracer())
+    report = runner.run()
+    return runner, report, runner.trace()
+
+
+# ----------------------------------------------------------------------
+# span-tree integrity
+# ----------------------------------------------------------------------
+class TestTraceStructure:
+    def test_lossy_uplink_span_tree(self):
+        _, report, trace = traced_run("lossy_uplink")
+        counts = trace.counts_by_kind()
+        # Every task contributes its lifecycle triple.
+        assert counts["task"] == report.total_tasks
+        assert counts["queue_wait"] == report.total_tasks
+        assert counts["dispatch"] == report.total_tasks
+        assert counts["round"] >= 1
+        assert counts["device_round"] >= 1
+        # Only registered kinds appear, and ids are unique (Trace raises
+        # on duplicates at construction).
+        assert set(counts) <= set(SPAN_KINDS)
+        ids = [s.span_id for s in trace]
+        assert len(ids) == len(set(ids))
+
+    def test_parents_exist_and_contain_children(self):
+        _, _, trace = traced_run("lossy_uplink")
+        by_id = {s.span_id: s for s in trace}
+        for span in trace:
+            if span.parent_id is None:
+                assert span.kind == "task"
+                continue
+            parent = by_id[span.parent_id]
+            # A child starts no earlier than its parent; uploads may end
+            # after the device span (the channel delivers asynchronously)
+            # but lifecycle/round/wave nesting is strict.
+            assert span.start >= parent.start - 1e-9
+            if span.kind in ("queue_wait", "dispatch", "round", "wave", "device_round"):
+                assert span.end <= parent.end + 1e-9
+
+    def test_spans_sorted_and_stable_ids(self):
+        _, _, trace = traced_run("lossy_uplink")
+        order = [(s.start, s.span_id) for s in trace]
+        assert order == sorted(order)
+        root = trace.of_kind("task")[0]
+        assert root.span_id.startswith("t:")
+        assert trace.children(root.span_id)
+
+    def test_duplicate_span_id_rejected(self):
+        span = Span("t:x", None, "x", "task", 0.0, 1.0, {})
+        clone = Span("t:x", None, "x", "task", 0.0, 2.0, {})
+        with pytest.raises(ValueError, match="duplicate span id"):
+            Trace("bad", [span, clone])
+
+    def test_trace_without_tracer_raises(self):
+        spec = build_scenario("lossy_uplink", scale=60, seed=1)
+        runner = ScenarioRunner(spec)
+        with pytest.raises(RuntimeError, match="tracer"):
+            runner.trace()
+
+
+# ----------------------------------------------------------------------
+# the differential contracts
+# ----------------------------------------------------------------------
+class TestTracingIsInvisible:
+    @pytest.mark.parametrize("name", ["lossy_uplink", "flash_crowd"])
+    def test_traced_report_byte_identical_to_untraced(self, name):
+        spec = build_scenario(name, scale=60, seed=1)
+        plain = ScenarioRunner(spec, batch=True).run()
+        spec2 = build_scenario(name, scale=60, seed=1)
+        traced = ScenarioRunner(spec2, batch=True, tracer=Tracer()).run()
+        assert json.dumps(plain.to_dict(), sort_keys=True) == json.dumps(
+            traced.to_dict(), sort_keys=True
+        )
+
+    @pytest.mark.parametrize("name", ["lossy_uplink", "flash_crowd"])
+    def test_batched_and_legacy_traces_byte_identical(self, name):
+        _, _, batched = traced_run(name, batch=True)
+        _, _, legacy = traced_run(name, batch=False)
+        assert batched.to_json() == legacy.to_json()
+
+
+# ----------------------------------------------------------------------
+# trace ↔ report reconciliation under loss
+# ----------------------------------------------------------------------
+class TestTransportReconciliation:
+    def test_spans_sum_to_transport_kpis(self):
+        runner, report, trace = traced_run("lossy_uplink", scale=120, seed=3)
+        kpis = {
+            key: sum(
+                (result.transport or {}).get(key, 0)
+                for result in runner.platform.results.values()
+            )
+            for key in (
+                "uploads",
+                "delivered",
+                "retries",
+                "duplicates",
+                "abandoned",
+                "late_drops",
+                "duplicate_drops",
+            )
+        }
+        uploads = trace.of_kind("upload")
+        drops = trace.of_kind("ingest_drop")
+        statuses = [s.attrs["status"] for s in uploads]
+        reasons = [s.attrs["reason"] for s in drops]
+        assert len(uploads) == kpis["uploads"]
+        assert sum(s.attrs["retries"] for s in uploads) == kpis["retries"]
+        assert statuses.count("abandoned") == kpis["abandoned"]
+        assert statuses.count("late") + reasons.count("late") == kpis["late_drops"]
+        assert reasons.count("duplicate") == kpis["duplicate_drops"]
+        assert (
+            sum(1 for s in uploads if s.attrs["status"] == "delivered" and s.attrs["duplicate"])
+            == kpis["duplicates"]
+        )
+        # The lossy library scenario really exercises the machinery.
+        assert kpis["retries"] > 0
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+class TestExporters:
+    def test_chrome_trace_structure(self):
+        _, _, trace = traced_run("lossy_uplink")
+        doc = chrome_trace(trace)
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(events) > len(trace)  # spans + metadata events
+        phases = {e["ph"] for e in events}
+        assert phases <= {"M", "X", "i"}
+        for event in events:
+            if event["ph"] == "M":
+                assert event["name"] in ("process_name", "thread_name")
+                continue
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert event["ts"] >= 0.0
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+        # Timestamps are microseconds of simulated time.
+        first_task = trace.of_kind("task")[0]
+        named = [e for e in events if e["ph"] == "X" and e.get("args", {}).get("span_id") == first_task.span_id]
+        if named:
+            assert named[0]["ts"] == pytest.approx(first_task.start * 1e6)
+
+    def test_chrome_trace_file_is_json(self, tmp_path):
+        _, _, trace = traced_run("lossy_uplink")
+        path = write_chrome_trace(trace, tmp_path / "trace.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == chrome_trace(trace)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        _, _, trace = traced_run("lossy_uplink")
+        path = write_spans_jsonl(trace, tmp_path / "spans.jsonl")
+        rows = read_spans_jsonl(path)
+        assert rows == [span.to_dict() for span in trace]
+        assert len(spans_jsonl(trace).splitlines()) == len(trace)
+
+
+# ----------------------------------------------------------------------
+# profiler
+# ----------------------------------------------------------------------
+class TestRunProfiler:
+    def test_attach_detach_restores_originals(self):
+        import importlib
+
+        originals = {}
+        for module_name, class_name, method, _category in PROFILE_POINTS:
+            cls = getattr(importlib.import_module(module_name), class_name)
+            originals[(class_name, method)] = getattr(cls, method)
+        profiler = RunProfiler().attach()
+        for module_name, class_name, method, _category in PROFILE_POINTS:
+            cls = getattr(importlib.import_module(module_name), class_name)
+            assert getattr(cls, method) is not originals[(class_name, method)]
+            assert hasattr(getattr(cls, method), "__profiled_original__")
+        profiler.detach()
+        for module_name, class_name, method, _category in PROFILE_POINTS:
+            cls = getattr(importlib.import_module(module_name), class_name)
+            assert getattr(cls, method) is originals[(class_name, method)]
+
+    def test_double_attach_rejected(self):
+        profiler = RunProfiler().attach()
+        try:
+            with pytest.raises(RuntimeError, match="already attached"):
+                profiler.attach()
+        finally:
+            profiler.detach()
+
+    def test_profiled_run_accounts_subsystems(self):
+        spec = build_scenario("lossy_uplink", scale=60, seed=1)
+        with RunProfiler() as profiler:
+            ScenarioRunner(spec, batch=True).run()
+        rows = profiler.rows()
+        categories = {row.category for row in rows}
+        assert "kernel.step_batch" in categories
+        for row in rows:
+            assert row.calls > 0
+            assert 0.0 <= row.self_s <= row.total_s + 1e-9
+        table = profiler.table(wall_s=1.0)
+        assert "kernel.step_batch" in table
+        assert "accounted" in table
+
+    def test_profiled_run_report_identical(self):
+        spec = build_scenario("lossy_uplink", scale=60, seed=1)
+        plain = ScenarioRunner(spec, batch=True).run()
+        spec2 = build_scenario("lossy_uplink", scale=60, seed=1)
+        with RunProfiler():
+            profiled = ScenarioRunner(spec2, batch=True).run()
+        assert json.dumps(plain.to_dict(), sort_keys=True) == json.dumps(
+            profiled.to_dict(), sort_keys=True
+        )
+
+    def test_section_accumulates(self):
+        profiler = RunProfiler()
+        with profiler.section("report"):
+            sum(range(1000))
+        with profiler.section("report"):
+            sum(range(1000))
+        rows = {row.category: row for row in profiler.rows()}
+        assert rows["section.report"].calls == 2
+        assert rows["section.report"].total_s >= 0.0
+        assert any(h["category"] == "section.report" for h in profiler.to_dict()["hotspots"])
+
+
+# ----------------------------------------------------------------------
+# CLI flags
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_run_with_trace_profile_and_report(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "spans.jsonl"
+        report_path = tmp_path / "report.json"
+        code = scenarios_main(
+            [
+                "run",
+                "lossy_uplink",
+                "--scale", "60",
+                "--seed", "1",
+                "--trace-out", str(trace_path),
+                "--trace-jsonl", str(jsonl_path),
+                "--report-json", str(report_path),
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profiler hotspots" in out
+        assert "trace:" in out
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert doc["traceEvents"]
+        assert read_spans_jsonl(jsonl_path)
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["scenario"] == "lossy_uplink"
+
+    def test_json_flag_is_report_json_alias(self, tmp_path):
+        path = tmp_path / "report.json"
+        code = scenarios_main(
+            ["run", "lossy_uplink", "--scale", "60", "--json", str(path)]
+        )
+        assert code == 0
+        assert json.loads(path.read_text(encoding="utf-8"))["scenario"] == "lossy_uplink"

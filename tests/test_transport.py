@@ -197,10 +197,10 @@ class TestChannelModel:
     @pytest.mark.parametrize(
         "kwargs, message",
         [
-            (dict(loss_prob=1.0), "loss_prob must be in [0, 1), got 1.0"),
-            (dict(dup_prob=-0.1), "dup_prob must be in [0, 1], got -0.1"),
-            (dict(max_attempts=0), "max_attempts must be >= 1, got 0"),
-            (dict(retry_base_s=0.0), "retry backoff must be > 0, got base=0.0, cap=60.0"),
+            ({"loss_prob": 1.0}, "loss_prob must be in [0, 1), got 1.0"),
+            ({"dup_prob": -0.1}, "dup_prob must be in [0, 1], got -0.1"),
+            ({"max_attempts": 0}, "max_attempts must be >= 1, got 0"),
+            ({"retry_base_s": 0.0}, "retry backoff must be > 0, got base=0.0, cap=60.0"),
         ],
     )
     def test_validation_errors_carry_the_value(self, kwargs, message):
@@ -442,38 +442,38 @@ class TestFaultSpecMessages:
     @pytest.mark.parametrize(
         "kwargs, message",
         [
-            (dict(kind="phone_crash", at=-1.0), "fault time must be >= 0, got -1.0"),
+            ({"kind": "phone_crash", "at": -1.0}, "fault time must be >= 0, got -1.0"),
             (
-                dict(kind="phone_crash", at=5.0, until=3.0),
+                {"kind": "phone_crash", "at": 5.0, "until": 3.0},
                 "fault recovery must come after the fault: until=3.0 <= at=5.0",
             ),
-            (dict(kind="phone_crash", at=0.0, count=0), "phone_crash needs count >= 1, got 0"),
+            ({"kind": "phone_crash", "at": 0.0, "count": 0}, "phone_crash needs count >= 1, got 0"),
             (
-                dict(kind="network_degradation", at=0.0),
+                {"kind": "network_degradation", "at": 0.0},
                 "network_degradation needs an end time, got until=None",
             ),
             (
-                dict(kind="network_degradation", at=0.0, until=10.0, factor=1.5),
+                {"kind": "network_degradation", "at": 0.0, "until": 10.0, "factor": 1.5},
                 "degradation factor must be in (0, 1], got 1.5",
             ),
             (
-                dict(kind="straggler", at=0.0),
+                {"kind": "straggler", "at": 0.0},
                 "straggler injection needs a window end, got until=None",
             ),
             (
-                dict(kind="straggler", at=0.0, until=10.0, factor=0.5),
+                {"kind": "straggler", "at": 0.0, "until": 10.0, "factor": 0.5},
                 "straggler slowdown factor must be > 1, got 0.5",
             ),
             (
-                dict(kind="message_loss", at=0.0),
+                {"kind": "message_loss", "at": 0.0},
                 "message_loss needs an end time, got until=None",
             ),
             (
-                dict(kind="message_loss", at=0.0, until=10.0, factor=1.5),
+                {"kind": "message_loss", "at": 0.0, "until": 10.0, "factor": 1.5},
                 "message_loss probability (factor) must be in (0, 1], got 1.5",
             ),
             (
-                dict(kind="message_duplication", at=0.0, until=10.0, factor=0.0),
+                {"kind": "message_duplication", "at": 0.0, "until": 10.0, "factor": 0.0},
                 "message_duplication probability (factor) must be in (0, 1], got 0.0",
             ),
         ],
